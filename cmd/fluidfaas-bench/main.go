@@ -1,0 +1,96 @@
+// Command fluidfaas-bench regenerates the paper's tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fluidfaas/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|all")
+	seed := flag.Int64("seed", 42, "random seed")
+	duration := flag.Float64("duration", 300, "trace duration (s)")
+	csvDir := flag.String("csv", "", "also write plot series (Fig. 3a, Fig. 16 timelines, CDFs) as CSV files into this directory")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+
+	needE2E := map[string]bool{
+		"fig9": true, "fig10": true, "fig11": true, "fig12": true,
+		"fig13": true, "fig14": true, "fig16": true, "table6": true, "all": true,
+	}
+	var e2e *experiments.EndToEnd
+	if needE2E[*exp] {
+		e2e = experiments.RunEndToEnd(cfg)
+	}
+
+	show := func(name string, f func()) {
+		if *exp == name || *exp == "all" {
+			f()
+		}
+	}
+	writeCSV := func(name string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", f.Name())
+	}
+	show("table2", func() { fmt.Println(experiments.Table2SliceProfiles()) })
+	show("table5", func() { fmt.Println(experiments.Table5MinimumSlices()) })
+	show("fig3", func() {
+		r := experiments.RunMotivation(cfg)
+		fmt.Println(experiments.Fig3Table(r))
+		writeCSV("fig3a.csv", func(f *os.File) error { return experiments.WriteMotivationCSV(f, r) })
+	})
+	show("fig4", func() { fmt.Println(experiments.Fig4Table(experiments.RunFragmentation())) })
+	show("fig5", func() { fmt.Println(experiments.Fig5Table(experiments.RunKeepAlive(cfg))) })
+	show("fig9", func() { fmt.Println(e2e.Fig9SLOHitRates()) })
+	show("fig10", func() { fmt.Println(e2e.Fig10Throughput()) })
+	show("fig11", func() { fmt.Println(e2e.FigCDF(experiments.Heavy)) })
+	show("fig12", func() { fmt.Println(e2e.FigCDF(experiments.Medium)) })
+	show("fig13", func() { fmt.Println(e2e.FigCDF(experiments.Light)) })
+	show("fig14", func() { fmt.Println(e2e.Fig14Breakdown()) })
+	show("fig15", func() { fmt.Println(experiments.Fig15Table(experiments.RunPartitions(cfg))) })
+	show("fig16", func() {
+		fmt.Println(e2e.Fig16Utilization())
+		for _, w := range experiments.Workloads {
+			for _, sys := range []string{"esg", "fluidfaas"} {
+				w, sys := w, sys
+				writeCSV(fmt.Sprintf("fig16_%s_%s.csv", w, sys), func(f *os.File) error {
+					return experiments.WriteTimelineCSV(f, e2e.Results[w][sys].UtilGPCs)
+				})
+			}
+		}
+	})
+	show("table6", func() { fmt.Println(e2e.Table6ResourceCost()) })
+	show("isolation", func() { fmt.Println(experiments.IsolationTable(experiments.RunIsolation(cfg))) })
+	show("reconfig", func() { fmt.Println(experiments.ReconfigTable(experiments.RunReconfig(cfg))) })
+	show("slosweep", func() { fmt.Println(experiments.SLOSweepTable(experiments.RunSLOSweep(cfg, nil))) })
+	show("batching", func() { fmt.Println(experiments.BatchingTable(experiments.RunBatching(cfg, nil))) })
+	show("chaining", func() { fmt.Println(experiments.ChainingTable(experiments.RunChaining(cfg))) })
+
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+// Command fluidfaas-sim runs a single platform simulation with a chosen
+// policy, workload level and MIG partition scheme, and dumps the
+// resulting metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluidfaas/internal/experiments"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/scheduler"
+)
+
+func main() {
+	policy := flag.String("policy", "fluidfaas", "policy: fluidfaas|esg|infless")
+	workload := flag.String("workload", "medium", "workload: light|medium|heavy")
+	duration := flag.Float64("duration", 300, "trace duration (s)")
+	seed := flag.Int64("seed", 42, "random seed")
+	partition := flag.String("partition", "P1", "partition scheme: P1|P2|Hybrid")
+	events := flag.Int("events", 0, "print the last N platform lifecycle events")
+	flag.Parse()
+
+	var pol scheduler.Policy
+	switch *policy {
+	case "fluidfaas":
+		pol = &scheduler.FluidFaaS{}
+	case "esg":
+		pol = &scheduler.ESG{}
+	case "infless":
+		pol = &scheduler.INFlessMIG{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	var w experiments.Workload
+	switch *workload {
+	case "light":
+		w = experiments.Light
+	case "medium":
+		w = experiments.Medium
+	case "heavy":
+		w = experiments.Heavy
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	switch *partition {
+	case "P1":
+		cfg.GPUConfigs = mig.UniformNode(mig.ConfigP1, 8)
+	case "P2":
+		cfg.GPUConfigs = mig.UniformNode(mig.ConfigP2, 8)
+	case "Hybrid":
+		cfg.GPUConfigs = mig.HybridNode()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown partition %q\n", *partition)
+		os.Exit(2)
+	}
+
+	r := experiments.RunSystem(pol, w, cfg)
+	fmt.Printf("system         %s\n", r.System)
+	fmt.Printf("workload       %s (%s variants)\n", w, w.Variant())
+	fmt.Printf("partition      %s\n", *partition)
+	fmt.Printf("requests       %d (completed %d)\n", r.Total, r.Completed)
+	fmt.Printf("throughput     %.1f req/s\n", r.Throughput)
+	fmt.Printf("SLO hit rate   %.1f%%\n", r.SLOHit*100)
+	for f := 0; f < len(r.SLOHitByApp); f++ {
+		fmt.Printf("  app %d        %.1f%%\n", f, r.SLOHitByApp[f]*100)
+	}
+	fmt.Printf("latency p50    %.3f s\n", r.LatencyP50)
+	fmt.Printf("latency p95    %.3f s\n", r.LatencyP95)
+	fmt.Printf("latency p99    %.3f s\n", r.LatencyP99)
+	fmt.Printf("breakdown      %s\n", r.Breakdown)
+	fmt.Printf("GPU time       %.1f s\n", r.GPUTime)
+	fmt.Printf("MIG time       %.1f s\n", r.MIGTime)
+	fmt.Printf("mean util      %.1f%% of GPCs\n", r.UtilGPCs.Mean()*100)
+	fmt.Printf("instances      %d launched, %d evictions, %d migrations\n",
+		r.Launched, r.Evictions, r.Migrations)
+	if *events > 0 {
+		evs := r.Events
+		if len(evs) > *events {
+			evs = evs[len(evs)-*events:]
+		}
+		fmt.Println("\nrecent lifecycle events:")
+		for _, e := range evs {
+			fmt.Println(" ", e)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command fluidfaas-trace generates Azure-like workload traces as CSV
+// and prints statistics of existing trace files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluidfaas/internal/experiments"
+	"fluidfaas/internal/trace"
+)
+
+func main() {
+	gen := flag.String("generate", "", "generate a trace for a workload level: light|medium|heavy")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	inspect := flag.String("inspect", "", "print statistics of a trace CSV")
+	duration := flag.Float64("duration", 300, "trace duration (s)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		var w experiments.Workload
+		switch *gen {
+		case "light":
+			w = experiments.Light
+		case "medium":
+			w = experiments.Medium
+		case "heavy":
+			w = experiments.Heavy
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *gen)
+			os.Exit(2)
+		}
+		cfg := experiments.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Duration = *duration
+		tr := experiments.TraceFor(w, cfg)
+		dst := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			dst = f
+		}
+		if err := tr.WriteCSV(dst); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%d requests over %.0f s (mean %.1f req/s, peak %.1f req/s)\n",
+			len(tr.Requests), tr.Duration, tr.MeanRate(), tr.PeakRate(10))
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("requests   %d\n", len(tr.Requests))
+		fmt.Printf("duration   %.1f s\n", tr.Duration)
+		fmt.Printf("functions  %d\n", tr.NumFuncs)
+		fmt.Printf("mean rate  %.2f req/s\n", tr.MeanRate())
+		fmt.Printf("peak rate  %.2f req/s (10 s buckets)\n", tr.PeakRate(10))
+		for fn, n := range tr.CountByFunc() {
+			fmt.Printf("  func %d   %d requests\n", fn, n)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,105 @@
+// Custommodel: profile a developer-supplied model with the virtual GPU
+// executor and deploy it through the FluidFaaS path. This is the full
+// BUILDDAG story of §5.2.1 for a model outside the built-in catalog:
+// describe the model as kernels, measure it on every MIG slice profile
+// (vgpu's roofline), register it in a FluidFaaS function, and let the
+// invoker pick a pipeline for the fragments at hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluidfaas/internal/ffaas"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+	"fluidfaas/internal/vgpu"
+)
+
+// vgpuModule adapts a vgpu.Model to the ffaas.Module interface.
+type vgpuModule struct{ m vgpu.Model }
+
+func (v vgpuModule) Name() string                           { return v.m.Name }
+func (v vgpuModule) MemGB() float64                         { return v.m.MemGB() }
+func (v vgpuModule) OutMB() float64                         { return v.m.OutMB }
+func (v vgpuModule) ExecOn(t mig.SliceType) (float64, bool) { return v.m.ExecOn(t) }
+
+// detector is a two-model video-analytics function: a heavy backbone
+// followed by a light tracking head.
+type detector struct {
+	backbone, head vgpu.Model
+}
+
+func (detector) Name() string { return "video-detector" }
+
+func (d detector) DefDAG(b *ffaas.Builder) {
+	x := b.Reg(vgpuModule{d.backbone}, ffaas.Input)
+	b.Reg(vgpuModule{d.head}, x)
+}
+
+func buildModels(batch int) detector {
+	var backbone []vgpu.Kernel
+	backbone = append(backbone, vgpu.ConvLayer("stem", batch, 208, 208, 3, 64, 7, 7))
+	for i := 0; i < 40; i++ {
+		backbone = append(backbone, vgpu.ConvLayer("stage", batch, 52, 52, 256, 256, 3, 3))
+	}
+	var head []vgpu.Kernel
+	head = append(head, vgpu.ConvLayer("neck", batch, 26, 26, 256, 128, 3, 3))
+	head = append(head, vgpu.MatMulLayer("assoc", batch, 8192, 4096))
+	return detector{
+		backbone: vgpu.Model{
+			Name: "backbone", Kernels: backbone,
+			ParamsGB: 3.5, ActivationGB: 1.2 * float64(batch), OutMB: 24,
+		},
+		head: vgpu.Model{
+			Name: "tracking-head", Kernels: head,
+			ParamsGB: 2.0, ActivationGB: 0.75 * float64(batch), OutMB: 2,
+		},
+	}
+}
+
+func main() {
+	fn := buildModels(8)
+
+	// BUILDDAG: the profiler "runs" each component on every slice.
+	d, profiles, err := ffaas.Profile(fn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("vgpu-measured profiles:")
+	for _, p := range profiles {
+		fmt.Printf("  %-14s %5.1f GB ", p.Name, p.MemGB)
+		for _, st := range mig.SliceTypes {
+			if et, ok := p.Exec[st]; ok {
+				fmt.Printf(" %s:%.1fms", st, et*1000)
+			}
+		}
+		fmt.Println()
+	}
+	for _, m := range []vgpu.Model{fn.backbone, fn.head} {
+		if a, ok := m.EffectiveAlpha(mig.Slice1g, mig.Slice7g); ok {
+			fmt.Printf("  %-14s effective scaling exponent alpha = %.2f\n", m.Name, a)
+		}
+	}
+
+	// The invoker's step, against a fragmented pool.
+	parts, err := d.EnumeratePartitions(mig.Slice7g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	free := []mig.SliceType{mig.Slice2g, mig.Slice2g, mig.Slice1g}
+	plan, _, err := pipeline.Construct(d, parts, free, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployment over fragments: %v\n", plan)
+	fmt.Printf("latency %.1f ms, throughput %.2f req/s on %d GPCs\n",
+		plan.Latency*1000, plan.Throughput(), plan.GPCs())
+
+	mono, err := pipeline.Monolithic(d, mig.Slice4g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vs monolithic on 4g.40gb: latency %.1f ms, throughput %.2f req/s on 4 GPCs\n",
+		mono.Latency*1000, mono.Throughput())
+}

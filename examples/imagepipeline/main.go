@@ -1,0 +1,50 @@
+// Imagepipeline: the paper's evaluation scenario in miniature. The four
+// DNN-workflow applications (Table 4) run at the medium variant on a
+// 2-node MIG cluster under a bursty Azure-like trace, side by side under
+// ESG (monolithic, state of the art) and FluidFaaS. Prints the Fig. 9 /
+// Fig. 10-style comparison.
+package main
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/experiments"
+	"fluidfaas/internal/scheduler"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+
+	fmt.Println("medium workload, 2 nodes x 8 A100s, partition 4g+2g+1g")
+	fmt.Println()
+
+	type row struct {
+		name string
+		r    experiments.SystemResult
+	}
+	var rows []row
+	for _, pol := range []scheduler.Policy{&scheduler.ESG{}, &scheduler.FluidFaaS{}} {
+		rows = append(rows, row{pol.Name(), experiments.RunSystem(pol, experiments.Medium, cfg)})
+	}
+
+	fmt.Printf("%-10s  %10s  %8s  %8s  %8s  %10s\n",
+		"system", "throughput", "SLO hit", "p50", "p95", "evictions")
+	for _, r := range rows {
+		fmt.Printf("%-10s  %7.1f/s  %7.1f%%  %6.2fs  %6.2fs  %10d\n",
+			r.name, r.r.Throughput, r.r.SLOHit*100,
+			r.r.LatencyP50, r.r.LatencyP95, r.r.Evictions)
+	}
+
+	fmt.Println("\nper-application SLO hit rates:")
+	fmt.Printf("%-32s  %8s  %9s\n", "application", "esg", "fluidfaas")
+	for ai := 0; ai < 4; ai++ {
+		fmt.Printf("app %-28d  %7.1f%%  %8.1f%%\n", ai,
+			rows[0].r.SLOHitByApp[ai]*100, rows[1].r.SLOHitByApp[ai]*100)
+	}
+
+	esg, ff := rows[0].r, rows[1].r
+	fmt.Printf("\nFluidFaaS vs ESG: %.2fx throughput, %+.0f%% SLO hit rate\n",
+		ff.Throughput/esg.Throughput, (ff.SLOHit/esg.SLOHit-1)*100)
+	fmt.Printf("breakdown: esg  %s\n", esg.Breakdown)
+	fmt.Printf("           ffs  %s\n", ff.Breakdown)
+}

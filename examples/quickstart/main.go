@@ -1,0 +1,106 @@
+// Quickstart: write a FluidFaaS function (Fig. 7 style), profile it in
+// BUILDDAG mode, let the invoker construct a pipeline over whatever MIG
+// slices happen to be free, and serve requests through the RUN-mode
+// stage processes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/ffaas"
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+)
+
+// imageClassification is the developer-written FluidFaaS function: the
+// paper's App 0 (super-resolution -> segmentation -> classification) at
+// the medium variant. Each DNN model is a Module; DefDAG registers the
+// models and the dataflow, exactly like Fig. 7's defDAG.
+type imageClassification struct{}
+
+func (imageClassification) Name() string { return "image-classification" }
+
+func (imageClassification) DefDAG(b *ffaas.Builder) {
+	mod := func(m dnn.ModelID) *ffaas.StaticModule {
+		return &ffaas.StaticModule{
+			ModuleName: m.String(),
+			Mem:        m.MemGB(dnn.Medium),
+			Out:        m.OutMB(dnn.Medium),
+			Exec:       m.ExecProfile(dnn.Medium),
+		}
+	}
+	x1 := b.Reg(mod(dnn.SuperResolution), ffaas.Input)
+	x2 := b.Reg(mod(dnn.Segmentation), x1)
+	b.Reg(mod(dnn.Classification), x2)
+}
+
+func main() {
+	fn := imageClassification{}
+
+	// BUILDDAG mode: construct the FFS DAG and profile every component.
+	d, profiles, err := ffaas.Profile(fn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("component profiles (BUILDDAG mode):")
+	for _, p := range profiles {
+		fmt.Printf("  %-18s %4.1f GB  1g:%.0fms 2g:%.0fms 4g:%.0fms\n",
+			p.Name, p.MemGB,
+			p.Exec[mig.Slice1g]*1000, p.Exec[mig.Slice2g]*1000, p.Exec[mig.Slice4g]*1000)
+	}
+
+	// Offline step: enumerate partitions and rank by CV (Eq. 1).
+	parts, err := d.EnumeratePartitions(mig.Slice7g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d candidate pipeline partitions, best CV %.3f\n", len(parts), parts[0].CV)
+
+	// The invoker's launch step: only three fragmented 1g.10gb slices
+	// are free — too small for the 18 GB function monolithically, but a
+	// pipeline fits.
+	free := []mig.SliceType{mig.Slice1g, mig.Slice1g, mig.Slice1g}
+	slo := 0.9 // seconds
+	plan, idx, err := pipeline.Construct(d, parts, free, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconstructed pipeline %v\n", plan)
+	fmt.Printf("  unloaded latency %.0f ms, sustainable throughput %.2f req/s\n",
+		plan.Latency*1000, plan.Throughput())
+
+	// The invoker writes the assignment to the configuration layer and
+	// launches the instance (RUN mode).
+	ids := make([]string, len(idx))
+	for i, ai := range idx {
+		ids[i] = fmt.Sprintf("gpu%d/%s", i, free[ai])
+	}
+	cfg, err := ffaas.FromPlan(plan, ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := ffaas.Launch(fn, cfg, ffaas.LaunchOptions{
+		Preloaded: false,
+		LoadTime:  keepalive.WarmLoadTime,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	// Serve a burst of requests; stages overlap, so completion spacing
+	// approaches the bottleneck stage time, not the full latency.
+	fmt.Println("\nserving a burst of 8 requests:")
+	results := make([]<-chan ffaas.Result, 8)
+	for i := range results {
+		results[i] = inst.Invoke(0)
+	}
+	for i, ch := range results {
+		r := <-ch
+		fmt.Printf("  req %d: latency %.0f ms (queue %.0f, exec %.0f, transfer %.0f, load %.0f)\n",
+			i, r.Latency*1000, r.QueueTime*1000, r.ExecTime*1000, r.TransferTime*1000, r.LoadTime*1000)
+	}
+}

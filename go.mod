@@ -1,0 +1,3 @@
+module fluidfaas
+
+go 1.24

@@ -1,0 +1,174 @@
+// Package cluster assembles MIG-partitioned GPUs into nodes and a
+// cluster, mirroring the paper's testbed: two invoker nodes with eight
+// A100-80GB GPUs each (Table 3).
+package cluster
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/mig"
+)
+
+// Node is one invoker node holding GPUs and host (CPU) memory. Host
+// memory backs the warm keep-alive state: evicted models park there.
+type Node struct {
+	ID       int
+	GPUs     []*mig.GPU
+	CPUMemGB float64
+
+	// warmMemGB tracks host memory used by warm (evicted) models.
+	warmMemGB float64
+}
+
+// Cluster is a set of invoker nodes.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// Spec describes a cluster to construct.
+type Spec struct {
+	// Nodes is the node count (paper: 2).
+	Nodes int
+	// GPUConfigs gives the per-GPU partition for each GPU of a node
+	// (paper: 8 GPUs per node). The same layout is applied to every node.
+	GPUConfigs []mig.Config
+	// CPUMemGB per node (paper Table 3: 1440 GB).
+	CPUMemGB float64
+}
+
+// DefaultSpec returns the paper's testbed: 2 nodes × 8 GPUs, each GPU
+// partitioned 4g.40gb + 2g.20gb + 1g.10gb, 1440 GB host memory.
+func DefaultSpec() Spec {
+	return Spec{
+		Nodes:      2,
+		GPUConfigs: mig.UniformNode(mig.DefaultConfig, 8),
+		CPUMemGB:   1440,
+	}
+}
+
+// New builds a cluster from spec. GPU IDs are globally unique.
+func New(spec Spec) *Cluster {
+	if spec.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	if len(spec.GPUConfigs) == 0 {
+		panic("cluster: need at least one GPU per node")
+	}
+	c := &Cluster{}
+	gpuID := 0
+	for n := 0; n < spec.Nodes; n++ {
+		node := &Node{ID: n, CPUMemGB: spec.CPUMemGB}
+		for _, cfg := range spec.GPUConfigs {
+			node.GPUs = append(node.GPUs, mig.NewGPU(n, gpuID, cfg))
+			gpuID++
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// FreeSlices returns the node's free slices across all GPUs, largest
+// first within each GPU, GPUs in ID order.
+func (n *Node) FreeSlices(now float64) []*mig.Slice {
+	var out []*mig.Slice
+	for _, g := range n.GPUs {
+		out = append(out, g.FreeSlices(now)...)
+	}
+	return out
+}
+
+// FreeGPCs returns total free compute on the node.
+func (n *Node) FreeGPCs(now float64) int {
+	t := 0
+	for _, g := range n.GPUs {
+		t += g.FreeGPCs(now)
+	}
+	return t
+}
+
+// TotalGPCs returns the node's total compute capacity.
+func (n *Node) TotalGPCs() int {
+	t := 0
+	for _, g := range n.GPUs {
+		t += g.Config().TotalGPCs()
+	}
+	return t
+}
+
+// ReserveWarm reserves host memory for a warm (evicted) model. It
+// reports false when host memory is exhausted.
+func (n *Node) ReserveWarm(memGB float64) bool {
+	if n.warmMemGB+memGB > n.CPUMemGB {
+		return false
+	}
+	n.warmMemGB += memGB
+	return true
+}
+
+// ReleaseWarm returns host memory reserved by ReserveWarm.
+func (n *Node) ReleaseWarm(memGB float64) {
+	n.warmMemGB -= memGB
+	if n.warmMemGB < -1e-9 {
+		panic(fmt.Sprintf("cluster: warm memory went negative (%v)", n.warmMemGB))
+	}
+	if n.warmMemGB < 0 {
+		n.warmMemGB = 0
+	}
+}
+
+// WarmMemGB returns host memory currently holding warm models.
+func (n *Node) WarmMemGB() float64 { return n.warmMemGB }
+
+// AllGPUs returns every GPU in the cluster in ID order.
+func (c *Cluster) AllGPUs() []*mig.GPU {
+	var out []*mig.GPU
+	for _, n := range c.Nodes {
+		out = append(out, n.GPUs...)
+	}
+	return out
+}
+
+// TotalGPCs returns the cluster's total compute capacity.
+func (c *Cluster) TotalGPCs() int {
+	t := 0
+	for _, n := range c.Nodes {
+		t += n.TotalGPCs()
+	}
+	return t
+}
+
+// ActiveGPCs returns compute currently processing across the cluster.
+func (c *Cluster) ActiveGPCs() int {
+	t := 0
+	for _, g := range c.AllGPUs() {
+		t += g.ActiveGPCs()
+	}
+	return t
+}
+
+// OccupiedGPCs returns compute currently allocated across the cluster.
+func (c *Cluster) OccupiedGPCs() int {
+	t := 0
+	for _, g := range c.AllGPUs() {
+		t += g.OccupiedGPCs()
+	}
+	return t
+}
+
+// GPUTime returns summed GPU time (union activity per GPU, §6) at now.
+func (c *Cluster) GPUTime(now float64) float64 {
+	t := 0.0
+	for _, g := range c.AllGPUs() {
+		t += g.ActiveTime(now)
+	}
+	return t
+}
+
+// MIGTime returns summed per-slice active time at now.
+func (c *Cluster) MIGTime(now float64) float64 {
+	t := 0.0
+	for _, g := range c.AllGPUs() {
+		t += g.MIGTime(now)
+	}
+	return t
+}

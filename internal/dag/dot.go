@@ -1,0 +1,43 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the FFS DAG in Graphviz dot format, one node per
+// component annotated with its memory footprint. When stages is
+// non-nil, nodes are clustered by pipeline stage so a deployment can be
+// visualised.
+func (d *DAG) DOT(name string, stages []Stage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", name)
+	inStage := map[NodeID]int{}
+	for si, st := range stages {
+		for _, n := range st.Nodes {
+			inStage[n] = si
+		}
+	}
+	if len(stages) > 0 {
+		for si, st := range stages {
+			fmt.Fprintf(&b, "  subgraph cluster_stage%d {\n    label=\"stage %d\";\n", si, si)
+			for _, n := range st.Nodes {
+				fmt.Fprintf(&b, "    n%d [label=\"%s\\n%.1f GB\"];\n",
+					n, d.Node(n).Name, d.Node(n).MemGB)
+			}
+			b.WriteString("  }\n")
+		}
+	} else {
+		for i := 0; i < d.Len(); i++ {
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\n%.1f GB\"];\n",
+				i, d.Node(NodeID(i)).Name, d.Node(NodeID(i)).MemGB)
+		}
+	}
+	for u := 0; u < d.Len(); u++ {
+		for _, v := range d.Succ(NodeID(u)) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

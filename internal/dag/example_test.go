@@ -1,0 +1,56 @@
+package dag_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/mig"
+)
+
+// Example demonstrates the offline step of §5.2.2: build an FFS DAG,
+// enumerate its consecutive partitions and rank them by the coefficient
+// of variation of stage times (Eq. 1).
+func Example() {
+	d := dag.New()
+	exec := func(ms float64) map[mig.SliceType]float64 {
+		m := map[mig.SliceType]float64{}
+		for _, t := range mig.SliceTypes {
+			m[t] = ms / 1000
+		}
+		return m
+	}
+	a := d.AddNode(dag.Node{Name: "preprocess", MemGB: 2, Exec: exec(100)})
+	b := d.AddNode(dag.Node{Name: "model", MemGB: 8, Exec: exec(100)})
+	c := d.AddNode(dag.Node{Name: "postprocess", MemGB: 2, Exec: exec(200)})
+	d.AddEdge(a, b)
+	d.AddEdge(b, c)
+
+	parts, _ := d.EnumeratePartitions(mig.Slice7g)
+	fmt.Printf("%d candidate partitions\n", len(parts))
+	best := parts[0]
+	fmt.Printf("best: %d stage(s), CV %.2f\n", len(best.Stages), best.CV)
+	// Output:
+	// 4 candidate partitions
+	// best: 1 stage(s), CV 0.00
+}
+
+func TestDOT(t *testing.T) {
+	d := dag.New()
+	exec := map[mig.SliceType]float64{mig.Slice7g: 0.1}
+	a := d.AddNode(dag.Node{Name: "a", MemGB: 1, Exec: exec})
+	b := d.AddNode(dag.Node{Name: "b", MemGB: 2, Exec: exec})
+	d.AddEdge(a, b)
+
+	plain := d.DOT("fn", nil)
+	for _, want := range []string{"digraph", `label="a`, `label="b`, "n0 -> n1"} {
+		if !strings.Contains(plain, want) {
+			t.Errorf("DOT missing %q:\n%s", want, plain)
+		}
+	}
+	staged := d.DOT("fn", []dag.Stage{{Nodes: []dag.NodeID{a}}, {Nodes: []dag.NodeID{b}}})
+	if !strings.Contains(staged, "cluster_stage0") || !strings.Contains(staged, "cluster_stage1") {
+		t.Errorf("staged DOT missing clusters:\n%s", staged)
+	}
+}

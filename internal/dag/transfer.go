@@ -1,0 +1,33 @@
+package dag
+
+// Transfer cost model (§5.2.1, §7.3). Pipeline stages on separate MIG
+// slices cannot share GPU memory — strong isolation — so tensors cross
+// stages through host shared memory: the predecessor process writes its
+// output tensor, the successor reads it. The paper measures 10–40 ms per
+// hop; this model (fixed syscall/copy setup plus size-dependent copy at
+// an effective write+read bandwidth) lands in that range for the
+// evaluation's tensor sizes.
+const (
+	// TransferBase is the fixed per-hop cost in seconds.
+	TransferBase = 0.008
+	// TransferBandwidthMBps is the effective host shared-memory
+	// bandwidth for the write-then-read round trip.
+	TransferBandwidthMBps = 2000.0
+	// IntraTransfer is the per-edge data movement cost inside a single
+	// slice (same GPU memory; the paper reports 1–5 ms total for ESG).
+	IntraTransfer = 0.002
+)
+
+// TransferScale multiplies every hop cost; it exists solely for the
+// transfer-sensitivity ablation bench (BenchmarkAblationTransfer) and
+// must stay 1 otherwise.
+var TransferScale = 1.0
+
+// TransferTime returns the host shared-memory hop cost for a tensor of
+// outMB megabytes.
+func TransferTime(outMB float64) float64 {
+	if outMB < 0 {
+		outMB = 0
+	}
+	return (TransferBase + outMB/TransferBandwidthMBps) * TransferScale
+}

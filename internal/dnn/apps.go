@@ -1,0 +1,216 @@
+package dnn
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/mig"
+)
+
+// AppID identifies one of the four evaluation applications (Table 4).
+type AppID int
+
+// The four applications.
+const (
+	ImageClassification    AppID = iota // App 0: super-res -> segmentation -> classification
+	DepthRecognition                    // App 1: deblur -> super-res -> depth
+	BackgroundElimination               // App 2: super-res -> deblur -> background removal
+	ExpandedClassification              // App 3: deblur -> (optional super-res) -> bg removal -> seg -> cls
+	numApps
+)
+
+// AppIDs lists all applications.
+var AppIDs = []AppID{ImageClassification, DepthRecognition,
+	BackgroundElimination, ExpandedClassification}
+
+// App describes one evaluation application.
+type App struct {
+	ID   AppID
+	Name string
+	// Models in topological order.
+	Models []ModelID
+	// Edges as index pairs into Models.
+	Edges [][2]int
+	// Optional marks models that only execute on some inputs (App 3's
+	// conditional super-resolution); they still count toward memory and
+	// worst-case latency.
+	Optional map[int]bool
+	// minGPCsBaseline is the compute a monolithic deployment needs per
+	// variant to be viable at all (1 unless stated); App 3's five-model
+	// medium variant needs 4 GPCs (Table 5).
+	minGPCsBaseline [numVariants]int
+	// excluded marks variants outside the paper's study (App 3 large:
+	// "NULL" in Table 5, since no slice in the deployed partitions can
+	// host it monolithically).
+	excluded [numVariants]bool
+}
+
+var apps = [numApps]App{
+	ImageClassification: {
+		ID: ImageClassification, Name: "image-classification",
+		Models:          []ModelID{SuperResolution, Segmentation, Classification},
+		Edges:           [][2]int{{0, 1}, {1, 2}},
+		minGPCsBaseline: [numVariants]int{1, 1, 1},
+	},
+	DepthRecognition: {
+		ID: DepthRecognition, Name: "depth-recognition",
+		Models:          []ModelID{Deblur, SuperResolution, DepthEstimation},
+		Edges:           [][2]int{{0, 1}, {1, 2}},
+		minGPCsBaseline: [numVariants]int{1, 1, 1},
+	},
+	BackgroundElimination: {
+		ID: BackgroundElimination, Name: "background-elimination",
+		Models:          []ModelID{SuperResolution, Deblur, BackgroundRemoval},
+		Edges:           [][2]int{{0, 1}, {1, 2}},
+		minGPCsBaseline: [numVariants]int{1, 1, 1},
+	},
+	ExpandedClassification: {
+		ID: ExpandedClassification, Name: "expanded-image-classification",
+		Models: []ModelID{Deblur, SuperResolution, BackgroundRemoval,
+			Segmentation, Classification},
+		// deblur -> super-res -> bg, with a skip edge deblur -> bg for
+		// high-resolution inputs, then bg -> seg -> cls.
+		Edges:           [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}},
+		Optional:        map[int]bool{1: true},
+		minGPCsBaseline: [numVariants]int{1, 4, 1},
+		excluded:        [numVariants]bool{false, false, true},
+	},
+}
+
+// Get returns the application description.
+func Get(id AppID) App {
+	if id < 0 || id >= numApps {
+		panic(fmt.Sprintf("dnn: invalid AppID %d", int(id)))
+	}
+	return apps[id]
+}
+
+// Apps returns all four applications.
+func Apps() []App {
+	out := make([]App, 0, numApps)
+	for _, id := range AppIDs {
+		out = append(out, Get(id))
+	}
+	return out
+}
+
+// Excluded reports whether the variant is outside the paper's study.
+func (a App) Excluded(v Variant) bool { return a.excluded[mustVariant(v)] }
+
+// BuildDAG constructs the FFS DAG of the application at a variant, with
+// every node carrying its profile — the output of the BUILDDAG mode of a
+// FluidFaaS function.
+func (a App) BuildDAG(v Variant) *dag.DAG {
+	d := dag.New()
+	ids := make([]dag.NodeID, len(a.Models))
+	for i, m := range a.Models {
+		ids[i] = d.AddNode(dag.Node{
+			Name:  m.String(),
+			MemGB: m.MemGB(v),
+			OutMB: m.OutMB(v),
+			Exec:  m.ExecProfile(v),
+		})
+	}
+	for _, e := range a.Edges {
+		d.AddEdge(ids[e[0]], ids[e[1]])
+	}
+	d.MonoMinGPCs = a.minGPCsBaseline[mustVariant(v)]
+	return d
+}
+
+// TotalMemGB returns the monolithic memory footprint of the variant.
+func (a App) TotalMemGB(v Variant) float64 {
+	t := 0.0
+	for _, m := range a.Models {
+		t += m.MemGB(v)
+	}
+	return t
+}
+
+// MaxComponentMemGB returns the largest single-component footprint — the
+// constraint on FluidFaaS's minimum slice.
+func (a App) MaxComponentMemGB(v Variant) float64 {
+	max := 0.0
+	for _, m := range a.Models {
+		if g := m.MemGB(v); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// deployableMax is the largest slice profile present in the evaluation's
+// partition schemes; 7g.80gb never appears in them, which is why App 3
+// large is NULL in Table 5.
+const deployableMax = mig.Slice4g
+
+// MinSliceBaseline returns the smallest slice profile a monolithic
+// (baseline) deployment of the variant can use: the whole function's
+// memory must fit and the profile must meet the variant's compute
+// requirement. ok is false when no deployable profile works (Table 5
+// "NULL").
+func (a App) MinSliceBaseline(v Variant) (mig.SliceType, bool) {
+	need := a.TotalMemGB(v)
+	for _, t := range mig.SliceTypes {
+		if t > deployableMax {
+			break
+		}
+		if float64(t.MemGB()) >= need && t.GPCs() >= a.minGPCsBaseline[mustVariant(v)] {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// MinSliceFluid returns the smallest slice profile a FluidFaaS pipeline
+// deployment can use: only the largest single component must fit,
+// because the runtime can split every component into its own stage.
+func (a App) MinSliceFluid(v Variant) (mig.SliceType, bool) {
+	if a.Excluded(v) {
+		return 0, false
+	}
+	need := a.MaxComponentMemGB(v)
+	for _, t := range mig.SliceTypes {
+		if t > deployableMax {
+			break
+		}
+		if float64(t.MemGB()) >= need {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// IntraTransfer is the per-edge data-movement cost inside a monolithic
+// instance (same GPU memory; §7.3 reports 1–5 ms for ESG).
+const IntraTransfer = dag.IntraTransfer
+
+// ReferenceLatency returns t of §6: the time for the application to
+// complete its whole workflow running alone on its minimum baseline MIG
+// slice. ok is false for excluded variants.
+func (a App) ReferenceLatency(v Variant) (float64, bool) {
+	st, ok := a.MinSliceBaseline(v)
+	if !ok {
+		return 0, false
+	}
+	total := 0.0
+	for _, m := range a.Models {
+		t, ok := m.ExecTime(v, st)
+		if !ok {
+			return 0, false
+		}
+		total += t
+	}
+	total += float64(len(a.Edges)) * IntraTransfer
+	return total, true
+}
+
+// SLOLatency returns the SLO latency for the variant at the given SLO
+// scale (default 1.5, §6).
+func (a App) SLOLatency(v Variant, scale float64) (float64, bool) {
+	ref, ok := a.ReferenceLatency(v)
+	if !ok {
+		return 0, false
+	}
+	return ref * scale, true
+}

@@ -1,0 +1,32 @@
+package dnn_test
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/mig"
+)
+
+// Example reproduces a Table 5 row: the medium image-classification
+// workflow needs a 2g.20gb slice monolithically, but each of its
+// components fits a 1g.10gb — which is exactly what lets FluidFaaS use
+// the fragments ESG leaves idle.
+func Example() {
+	app := dnn.Get(dnn.ImageClassification)
+	base, _ := app.MinSliceBaseline(dnn.Medium)
+	fluid, _ := app.MinSliceFluid(dnn.Medium)
+	fmt.Printf("total memory: %.1f GB\n", app.TotalMemGB(dnn.Medium))
+	fmt.Printf("largest component: %.1f GB\n", app.MaxComponentMemGB(dnn.Medium))
+	fmt.Printf("baseline minimum: %s\n", base)
+	fmt.Printf("fluidfaas minimum: %s\n", fluid)
+	ref, _ := app.ReferenceLatency(dnn.Medium)
+	slo, _ := app.SLOLatency(dnn.Medium, 1.5)
+	fmt.Printf("reference t: %.0f ms, SLO (1.5x): %.0f ms\n", ref*1000, slo*1000)
+	_ = mig.Slice1g
+	// Output:
+	// total memory: 18.0 GB
+	// largest component: 7.0 GB
+	// baseline minimum: 2g.20gb
+	// fluidfaas minimum: 1g.10gb
+	// reference t: 540 ms, SLO (1.5x): 811 ms
+}

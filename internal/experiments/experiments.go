@@ -1,0 +1,315 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§6–§7), producing the same rows and series the
+// paper reports. See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/metrics"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/platform"
+	"fluidfaas/internal/scheduler"
+	"fluidfaas/internal/trace"
+)
+
+// Workload is one of the paper's three workload levels (§6): the level
+// selects the application variant (light=small, medium=medium,
+// heavy=large) and the invocation intensity.
+type Workload int
+
+// The three workload levels.
+const (
+	Light Workload = iota
+	Medium
+	Heavy
+)
+
+// Workloads lists all levels.
+var Workloads = []Workload{Light, Medium, Heavy}
+
+// String returns the level name.
+func (w Workload) String() string {
+	switch w {
+	case Light:
+		return "light"
+	case Medium:
+		return "medium"
+	case Heavy:
+		return "heavy"
+	}
+	return fmt.Sprintf("Workload(%d)", int(w))
+}
+
+// Variant returns the application variant the level uses.
+func (w Workload) Variant() dnn.Variant {
+	switch w {
+	case Light:
+		return dnn.Small
+	case Medium:
+		return dnn.Medium
+	default:
+		return dnn.Large
+	}
+}
+
+// appRPS returns the per-application mean request rates of the level,
+// calibrated against the 2-node/16-GPU default testbed so that the
+// paper's regimes reproduce: light leaves headroom everywhere, medium
+// exceeds what the baselines can serve without the 1g slices (with the
+// expanded app - whose baseline needs a 4g slice - invoked hardest, as
+// in the Azure trace's skewed per-function rates), and heavy exceeds
+// the baselines' 4g-only capacity.
+func (w Workload) appRPS() []float64 {
+	switch w {
+	case Light:
+		return []float64{5, 5, 5, 5}
+	case Medium:
+		return []float64{8, 8, 8, 10}
+	default:
+		return []float64{11, 11, 11}
+	}
+}
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Seed drives trace generation and platform randomness.
+	Seed int64
+	// Duration is the trace length in seconds (default 300).
+	Duration float64
+	// Drain is extra time for in-flight requests (default 40).
+	Drain float64
+	// SLOScale is the SLO latency over the reference latency
+	// (default 1.5, §6).
+	SLOScale float64
+	// GPUConfigs is the per-GPU partition layout of each node
+	// (default: the paper's 4g+2g+1g on all 8 GPUs).
+	GPUConfigs []mig.Config
+	// Nodes is the node count (default 2).
+	Nodes int
+	// MaxBatch enables dynamic batching at instances (1 = off, the
+	// paper's configuration).
+	MaxBatch int
+	// RateScale multiplies every stream's request rate (default 1);
+	// extension studies use it to push systems past saturation.
+	RateScale float64
+	// Routing overrides the load balancer's instance ordering (for the
+	// routing ablation; default is the paper's latency-ascending).
+	Routing platform.RoutingOrder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 300
+	}
+	if c.Drain <= 0 {
+		c.Drain = 40
+	}
+	if c.SLOScale <= 0 {
+		c.SLOScale = 1.5
+	}
+	if c.GPUConfigs == nil {
+		c.GPUConfigs = mig.UniformNode(mig.DefaultConfig, 8)
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 2
+	}
+	if c.RateScale <= 0 {
+		c.RateScale = 1
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's evaluation setup.
+func DefaultConfig() Config { return Config{Seed: 42}.withDefaults() }
+
+// Systems returns the three compared systems in paper order.
+func Systems() []scheduler.Policy {
+	return []scheduler.Policy{&scheduler.INFlessMIG{}, &scheduler.ESG{}, &scheduler.FluidFaaS{}}
+}
+
+// appsFor lists the applications active at a workload level (App 3's
+// large variant is excluded from the study, Table 5).
+func appsFor(w Workload) []dnn.App {
+	var out []dnn.App
+	for _, a := range dnn.Apps() {
+		if a.Excluded(w.Variant()) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// SpecsFor builds the platform function specs of a workload level.
+func SpecsFor(w Workload, sloScale float64) []platform.FunctionSpec {
+	var out []platform.FunctionSpec
+	for _, a := range appsFor(w) {
+		v := w.Variant()
+		d := a.BuildDAG(v)
+		parts, err := d.EnumeratePartitions(mig.Slice7g)
+		if err != nil {
+			panic(err)
+		}
+		slo, ok := a.SLOLatency(v, sloScale)
+		if !ok {
+			panic(fmt.Sprintf("experiments: no SLO for %s/%s", a.Name, v))
+		}
+		out = append(out, platform.FunctionSpec{
+			ID: len(out), Name: a.Name, DAG: d, Parts: parts, SLO: slo,
+		})
+	}
+	return out
+}
+
+// TraceFor generates the workload trace: Azure-like modulation with
+// bursts (§6 uses the Azure Functions production traces for invocation
+// frequencies and intervals).
+func TraceFor(w Workload, cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	apps := appsFor(w)
+	rates := w.appRPS()
+	var streams []trace.StreamSpec
+	for i := range apps {
+		streams = append(streams, trace.StreamSpec{
+			Func:          i,
+			MeanRPS:       rates[i] * cfg.RateScale,
+			RateSigma:     0.30,
+			BurstFactor:   1.6,
+			BurstFraction: 0.12,
+			BurstLen:      25,
+		})
+	}
+	return trace.Generate(trace.Spec{
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed + int64(w)*1000,
+		Streams:  streams,
+	})
+}
+
+// SystemResult summarises one (system, workload) run.
+type SystemResult struct {
+	System   string
+	Workload Workload
+
+	SLOHit      float64
+	SLOHitByApp map[int]float64
+	Throughput  float64
+	Completed   int
+	Total       int
+
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+	CDFByApp   map[int][]metrics.CDFPoint
+
+	Breakdown metrics.Breakdown
+	GPUTime   float64
+	MIGTime   float64
+
+	UtilGPCs      metrics.Timeline
+	UtilGPUs      metrics.Timeline
+	OccupiedGPCs  metrics.Timeline
+	Fragmentation metrics.Timeline
+
+	Evictions  int
+	Migrations int
+	Launched   int
+
+	// Events are the platform's retained lifecycle events.
+	Events []platform.Event
+}
+
+// RunSystem executes one (policy, workload) experiment.
+func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
+	cfg = cfg.withDefaults()
+	specs := SpecsFor(w, cfg.SLOScale)
+	cl := cluster.New(cluster.Spec{
+		Nodes:      cfg.Nodes,
+		GPUConfigs: cfg.GPUConfigs,
+		CPUMemGB:   1440,
+	})
+	p := platform.New(cl, specs, platform.Options{
+		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
+	})
+	tr := TraceFor(w, cfg)
+	p.Run(tr, cfg.Drain)
+
+	col := p.Collector()
+	lats := col.Latencies()
+	end := cfg.Duration + cfg.Drain
+	res := SystemResult{
+		System:        pol.Name(),
+		Workload:      w,
+		SLOHit:        col.SLOHitRate(),
+		SLOHitByApp:   col.SLOHitRateByFunc(),
+		Throughput:    col.Throughput(cfg.Duration),
+		Completed:     col.Completed(),
+		Total:         col.Len(),
+		LatencyP50:    metrics.Percentile(lats, 50),
+		LatencyP95:    metrics.Percentile(lats, 95),
+		LatencyP99:    metrics.Percentile(lats, 99),
+		CDFByApp:      map[int][]metrics.CDFPoint{},
+		Breakdown:     col.MeanBreakdown(),
+		GPUTime:       cl.GPUTime(end),
+		MIGTime:       cl.MIGTime(end),
+		UtilGPCs:      p.UtilGPCs,
+		UtilGPUs:      p.UtilGPUs,
+		OccupiedGPCs:  p.OccupiedGPCs,
+		Fragmentation: p.Fragmentation,
+		Evictions:     p.Evictions(),
+		Migrations:    p.Migrations(),
+		Launched:      p.Launched(),
+		Events:        p.Events(),
+	}
+	for f, ls := range col.LatenciesByFunc() {
+		res.CDFByApp[f] = metrics.CDF(ls, 20)
+	}
+	return res
+}
+
+// Table is a printable experiment result in the paper's row format.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }

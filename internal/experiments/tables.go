@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/metrics"
+	"fluidfaas/internal/mig"
+)
+
+// Table2SliceProfiles renders the MIG slice profile table.
+func Table2SliceProfiles() Table {
+	t := Table{
+		Title:  "Table 2: MIG profiles on an A100 GPU",
+		Header: []string{"slice", "compute", "memory", "max count"},
+	}
+	for i := len(mig.SliceTypes) - 1; i >= 0; i-- {
+		st := mig.SliceTypes[i]
+		t.Rows = append(t.Rows, []string{
+			st.String(),
+			fmt.Sprintf("%dGPC", st.GPCs()),
+			fmt.Sprintf("%dgb", st.MemGB()),
+			strconv.Itoa(st.MaxCount()),
+		})
+	}
+	return t
+}
+
+// Table5MinimumSlices renders the application-variant minimum-slice
+// matrix (baseline vs FluidFaaS).
+func Table5MinimumSlices() Table {
+	t := Table{
+		Title:  "Table 5: application variants and minimum MIG slices",
+		Header: []string{"application", "variant", "baseline", "fluidfaas"},
+	}
+	render := func(st mig.SliceType, ok bool) string {
+		if !ok {
+			return "NULL"
+		}
+		return ">=" + st.String()
+	}
+	for _, a := range dnn.Apps() {
+		for _, v := range dnn.Variants {
+			bs, bok := a.MinSliceBaseline(v)
+			fs, fok := a.MinSliceFluid(v)
+			t.Rows = append(t.Rows, []string{
+				a.Name, v.String(), render(bs, bok), render(fs, fok),
+			})
+		}
+	}
+	return t
+}
+
+// WriteTimelineCSV writes a sampled series as "time_s,value" rows for
+// plotting.
+func WriteTimelineCSV(w io.Writer, tl metrics.Timeline) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "value"}); err != nil {
+		return err
+	}
+	for i := range tl.Times {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(tl.Times[i], 'f', 3, 64),
+			strconv.FormatFloat(tl.Values[i], 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV writes a latency CDF as "latency_s,fraction" rows.
+func WriteCDFCSV(w io.Writer, cdf []metrics.CDFPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"latency_s", "fraction"}); err != nil {
+		return err
+	}
+	for _, p := range cdf {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(p.Latency, 'f', 4, 64),
+			strconv.FormatFloat(p.Fraction, 'f', 4, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMotivationCSV writes Fig. 3a's two series side by side.
+func WriteMotivationCSV(w io.Writer, r MotivationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "occupied_frac", "required_frac"}); err != nil {
+		return err
+	}
+	for i := range r.Times {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(r.Times[i], 'f', 1, 64),
+			strconv.FormatFloat(r.Occupied[i], 'f', 4, 64),
+			strconv.FormatFloat(r.Required[i], 'f', 4, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fluidfaas/internal/metrics"
+)
+
+func TestTable2Render(t *testing.T) {
+	tab := Table2SliceProfiles()
+	s := tab.String()
+	for _, want := range []string{"7g.80gb", "1g.10gb", "7GPC", "80gb"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+func TestTable5Render(t *testing.T) {
+	tab := Table5MinimumSlices()
+	if len(tab.Rows) != 12 { // 4 apps x 3 variants
+		t.Fatalf("rows = %d, want 12", len(tab.Rows))
+	}
+	s := tab.String()
+	if !strings.Contains(s, "NULL") {
+		t.Error("Table 5 missing the App 3 large NULL row")
+	}
+	if !strings.Contains(s, ">=4g.40gb") {
+		t.Error("Table 5 missing the App 3 medium 4g row")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var tl metrics.Timeline
+	tl.Add(0, 0.25)
+	tl.Add(1, 0.5)
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !strings.HasPrefix(got, "time_s,value\n0.000,0.250000\n") {
+		t.Errorf("timeline CSV = %q", got)
+	}
+
+	buf.Reset()
+	cdf := []metrics.CDFPoint{{Latency: 0.5, Fraction: 0.5}, {Latency: 1, Fraction: 1}}
+	if err := WriteCDFCSV(&buf, cdf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5000,0.5000") {
+		t.Errorf("cdf CSV = %q", buf.String())
+	}
+
+	buf.Reset()
+	r := MotivationResult{
+		Times: []float64{0, 1}, Occupied: []float64{0.1, 0.2}, Required: []float64{0.05, 0.1},
+	}
+	if err := WriteMotivationCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("motivation CSV lines = %d, want 3", len(lines))
+	}
+}

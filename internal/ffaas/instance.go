@@ -1,0 +1,291 @@
+package ffaas
+
+import (
+	"fmt"
+	"sync"
+
+	"fluidfaas/internal/dag"
+)
+
+// Result reports the virtual-time breakdown of one request through an
+// instance (the components of Fig. 14's latency breakdown).
+type Result struct {
+	// Latency is the end-to-end virtual latency from arrival to result.
+	Latency float64
+	// QueueTime is time spent waiting for stage slices.
+	QueueTime float64
+	// ExecTime is time spent executing components.
+	ExecTime float64
+	// TransferTime is time spent in host shared-memory hops.
+	TransferTime float64
+	// LoadTime is reload penalty paid after evictions.
+	LoadTime float64
+	// StageTimes lists per-stage service times.
+	StageTimes []float64
+}
+
+type job struct {
+	arrival float64 // virtual arrival time at the current stage
+	res     Result
+	done    chan Result
+}
+
+// stageProc is one stage process: the analog of the per-MIG process of
+// Listing 1, with its shared-memory input queue and eviction flag.
+type stageProc struct {
+	idx      int
+	cfg      StageConfig
+	exec     float64 // service time on the stage's slice
+	transfer float64 // hop cost to the next stage
+	memGB    float64
+	loadTime func(memGB float64) float64
+
+	inbox chan *job
+	next  *stageProc
+
+	mu          sync.Mutex
+	availableAt float64 // virtual time the slice frees up
+	loaded      bool
+	evict       bool
+	served      uint64
+	busy        float64
+}
+
+func (s *stageProc) run(wg *sync.WaitGroup, final func(*job)) {
+	defer wg.Done()
+	for j := range s.inbox {
+		s.mu.Lock()
+		start := j.arrival
+		if s.availableAt > start {
+			start = s.availableAt
+		}
+		j.res.QueueTime += start - j.arrival
+		if s.evict {
+			s.loaded = false
+			s.evict = false
+		}
+		service := s.exec
+		if !s.loaded {
+			load := s.loadTime(s.memGB)
+			j.res.LoadTime += load
+			service += load
+			s.loaded = true
+		}
+		finish := start + service
+		s.availableAt = finish
+		s.served++
+		s.busy += service
+		s.mu.Unlock()
+
+		j.res.ExecTime += s.exec
+		j.res.StageTimes = append(j.res.StageTimes, service)
+		if s.next != nil {
+			j.res.TransferTime += s.transfer
+			j.arrival = finish + s.transfer
+			s.next.inbox <- j
+		} else {
+			j.arrival = finish
+			final(j)
+		}
+	}
+	if s.next != nil {
+		close(s.next.inbox)
+	}
+}
+
+// Evict raises the stage's eviction flag: the model is dropped from the
+// slice after the in-flight request, and the next request pays the
+// reload (Listing 1's self.eviction).
+func (s *stageProc) Evict() {
+	s.mu.Lock()
+	s.evict = true
+	s.mu.Unlock()
+}
+
+// Instance is a running FluidFaaS function: RUN-mode initialisation has
+// imported the DAG and the configuration layer, and one stage process
+// serves each assigned MIG slice.
+type Instance struct {
+	name   string
+	d      *dag.DAG
+	cfg    Config
+	stages []*stageProc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// LoadTimeFunc models how long (re)loading memGB of model state onto a
+// slice takes.
+type LoadTimeFunc func(memGB float64) float64
+
+// LaunchOptions tune instance startup.
+type LaunchOptions struct {
+	// LoadTime models reload cost after eviction; nil means models are
+	// pre-loaded and reloads are free (exclusive-hot behaviour).
+	LoadTime LoadTimeFunc
+	// Preloaded marks models as already resident (no first-request load).
+	Preloaded bool
+}
+
+// Launch runs the function in RUN mode under the given configuration
+// layer: it validates the stage assignment against the DAG and starts
+// the stage processes (Listing 1's _start_processes).
+func Launch(fn Function, cfg Config, opts LaunchOptions) (*Instance, error) {
+	d, err := BuildDAG(fn)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Stages) == 0 {
+		return nil, fmt.Errorf("ffaas: %s: empty configuration layer", fn.Name())
+	}
+	// Stage coverage: every node exactly once, in topological order.
+	seen := make(map[dag.NodeID]int)
+	for si, sc := range cfg.Stages {
+		for _, n := range sc.Nodes {
+			if int(n) < 0 || int(n) >= d.Len() {
+				return nil, fmt.Errorf("ffaas: %s: stage %d references unknown node %d", fn.Name(), si, n)
+			}
+			if _, dup := seen[n]; dup {
+				return nil, fmt.Errorf("ffaas: %s: node %d assigned twice", fn.Name(), n)
+			}
+			seen[n] = si
+		}
+	}
+	if len(seen) != d.Len() {
+		return nil, fmt.Errorf("ffaas: %s: %d of %d nodes assigned", fn.Name(), len(seen), d.Len())
+	}
+	for u := 0; u < d.Len(); u++ {
+		for _, v := range d.Succ(dag.NodeID(u)) {
+			if seen[v] < seen[dag.NodeID(u)] {
+				return nil, fmt.Errorf("ffaas: %s: edge %d->%d crosses stages backwards", fn.Name(), u, v)
+			}
+		}
+	}
+
+	loadTime := opts.LoadTime
+	if loadTime == nil {
+		loadTime = func(float64) float64 { return 0 }
+	}
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = 64
+	}
+
+	inst := &Instance{name: fn.Name(), d: d, cfg: cfg}
+	for si, sc := range cfg.Stages {
+		exec := 0.0
+		mem := 0.0
+		inStage := make(map[dag.NodeID]bool, len(sc.Nodes))
+		for _, n := range sc.Nodes {
+			inStage[n] = true
+		}
+		for _, n := range sc.Nodes {
+			t, ok := d.Node(n).ExecOn(sc.Slice)
+			if !ok {
+				return nil, fmt.Errorf("ffaas: %s: node %s cannot run on %s",
+					fn.Name(), d.Node(n).Name, sc.Slice)
+			}
+			exec += t
+			mem += d.Node(n).MemGB
+			for _, v := range d.Succ(n) {
+				if inStage[v] {
+					exec += dag.IntraTransfer
+				}
+			}
+		}
+		if mem > float64(sc.Slice.MemGB()) {
+			return nil, fmt.Errorf("ffaas: %s: stage %d needs %.1f GB on %s",
+				fn.Name(), si, mem, sc.Slice)
+		}
+		transfer := 0.0
+		if si < len(cfg.Stages)-1 {
+			out := 0.0
+			for _, n := range sc.Nodes {
+				for _, v := range d.Succ(n) {
+					if !inStage[v] && d.Node(n).OutMB > out {
+						out = d.Node(n).OutMB
+					}
+				}
+			}
+			transfer = dag.TransferTime(out)
+		}
+		inst.stages = append(inst.stages, &stageProc{
+			idx:      si,
+			cfg:      sc,
+			exec:     exec,
+			transfer: transfer,
+			memGB:    mem,
+			loadTime: loadTime,
+			inbox:    make(chan *job, qcap),
+			loaded:   opts.Preloaded,
+		})
+	}
+	for i := 0; i < len(inst.stages)-1; i++ {
+		inst.stages[i].next = inst.stages[i+1]
+	}
+	for _, s := range inst.stages {
+		inst.wg.Add(1)
+		go s.run(&inst.wg, func(j *job) {
+			j.res.Latency = j.res.QueueTime + j.res.ExecTime + j.res.TransferTime + j.res.LoadTime
+			j.done <- j.res
+		})
+	}
+	return inst, nil
+}
+
+// Name returns the function name.
+func (inst *Instance) Name() string { return inst.name }
+
+// Stages returns the number of pipeline stages.
+func (inst *Instance) Stages() int { return len(inst.stages) }
+
+// Invoke submits a request arriving at the given virtual time and
+// returns a channel delivering its Result. Arrival times should be
+// non-decreasing across calls for meaningful queueing.
+func (inst *Instance) Invoke(arrival float64) <-chan Result {
+	done := make(chan Result, 1)
+	inst.mu.Lock()
+	if inst.closed {
+		inst.mu.Unlock()
+		close(done)
+		return done
+	}
+	inst.mu.Unlock()
+	inst.stages[0].inbox <- &job{arrival: arrival, done: done}
+	return done
+}
+
+// InvokeWait submits a request and blocks for its Result.
+func (inst *Instance) InvokeWait(arrival float64) Result {
+	return <-inst.Invoke(arrival)
+}
+
+// EvictStage raises stage i's eviction flag.
+func (inst *Instance) EvictStage(i int) { inst.stages[i].Evict() }
+
+// StageStats reports per-stage served counts and busy time.
+func (inst *Instance) StageStats() (served []uint64, busy []float64) {
+	for _, s := range inst.stages {
+		s.mu.Lock()
+		served = append(served, s.served)
+		busy = append(busy, s.busy)
+		s.mu.Unlock()
+	}
+	return served, busy
+}
+
+// Close terminates the stage processes after in-flight requests drain
+// (Listing 1's _terminate_processes). It is idempotent.
+func (inst *Instance) Close() {
+	inst.mu.Lock()
+	if inst.closed {
+		inst.mu.Unlock()
+		return
+	}
+	inst.closed = true
+	inst.mu.Unlock()
+	close(inst.stages[0].inbox)
+	inst.wg.Wait()
+}

@@ -1,0 +1,268 @@
+package keepalive
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestFig8Transitions pins the legal state transitions of paper Fig. 8.
+func TestFig8Transitions(t *testing.T) {
+	allowed := [][2]State{
+		{Cold, TimeSharing},         // 1: creation on first request
+		{TimeSharing, ExclusiveHot}, // 2: utilisation above threshold
+		{ExclusiveHot, TimeSharing}, // 3: request volume drops
+		{TimeSharing, Warm},         // 4: evicted to CPU memory
+		{Warm, Cold},                // 5: ten-minute idle timeout
+		{Warm, TimeSharing},         // reload on demand
+	}
+	allowedSet := map[[2]State]bool{}
+	for _, tr := range allowed {
+		allowedSet[tr] = true
+		if !CanTransition(tr[0], tr[1]) {
+			t.Errorf("transition %v -> %v should be legal", tr[0], tr[1])
+		}
+	}
+	states := []State{Cold, Warm, TimeSharing, ExclusiveHot}
+	for _, from := range states {
+		for _, to := range states {
+			if !allowedSet[[2]State{from, to}] && CanTransition(from, to) {
+				t.Errorf("transition %v -> %v should be illegal", from, to)
+			}
+		}
+	}
+}
+
+func TestMachineLifecycle(t *testing.T) {
+	m := NewMachine()
+	if m.State() != Cold {
+		t.Fatalf("initial state = %v, want cold", m.State())
+	}
+	steps := []State{TimeSharing, ExclusiveHot, TimeSharing, Warm, TimeSharing, Warm, Cold}
+	for _, s := range steps {
+		if err := m.To(s); err != nil {
+			t.Fatalf("transition to %v: %v", s, err)
+		}
+	}
+	if m.Transitions() != len(steps) {
+		t.Errorf("transitions = %d, want %d", m.Transitions(), len(steps))
+	}
+	if err := m.To(ExclusiveHot); err == nil {
+		t.Error("cold -> exclusive-hot accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Cold: "cold", Warm: "warm", TimeSharing: "time-sharing",
+		ExclusiveHot: "exclusive-hot",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestTrackerUtilization(t *testing.T) {
+	tr := NewTrackerWindow(10)
+	tr.Begin(0)
+	tr.End(3)
+	if got := tr.Utilization(10); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.3", got)
+	}
+	// Window slides: by t=20 the [0,3] interval has aged out.
+	if got := tr.Utilization(20); got != 0 {
+		t.Errorf("utilization after aging = %v, want 0", got)
+	}
+}
+
+func TestTrackerOpenInterval(t *testing.T) {
+	tr := NewTrackerWindow(10)
+	tr.Begin(5)
+	if got := tr.Utilization(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("open interval utilization = %v, want 0.5", got)
+	}
+	// Still serving: stays at 100% of the recent window eventually.
+	if got := tr.Utilization(100); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("long open interval = %v, want 1", got)
+	}
+}
+
+func TestTrackerPartialOverlap(t *testing.T) {
+	tr := NewTrackerWindow(10)
+	tr.Begin(0)
+	tr.End(8)
+	// Window [5,15]: overlap [5,8] = 3 of 10.
+	if got := tr.Utilization(15); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("partial overlap = %v, want 0.3", got)
+	}
+}
+
+func TestTrackerIsHotThreshold(t *testing.T) {
+	tr := NewTrackerWindow(10)
+	tr.Begin(0)
+	tr.End(3.1)
+	if !tr.IsHot(10) {
+		t.Error("31% utilization should be hot (threshold 30%)")
+	}
+	tr2 := NewTrackerWindow(10)
+	tr2.Begin(0)
+	tr2.End(2.9)
+	if tr2.IsHot(10) {
+		t.Error("29% utilization should not be hot")
+	}
+}
+
+func TestTrackerEarlyWindow(t *testing.T) {
+	tr := NewTrackerWindow(30)
+	tr.Begin(0)
+	tr.End(2)
+	// At t=4, the window clips to [0,4]: 2/4.
+	if got := tr.Utilization(4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("early-window utilization = %v, want 0.5", got)
+	}
+}
+
+func TestTrackerIdleAndTouch(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin(0)
+	tr.End(1)
+	if got := tr.IdleFor(11); got != 10 {
+		t.Errorf("IdleFor = %v, want 10", got)
+	}
+	tr.Touch(15)
+	if got := tr.IdleFor(16); got != 1 {
+		t.Errorf("IdleFor after touch = %v, want 1", got)
+	}
+	if got := tr.LastUse(); got != 15 {
+		t.Errorf("LastUse = %v, want 15", got)
+	}
+	tr.Touch(2) // stale touch must not move time backwards
+	if got := tr.LastUse(); got != 15 {
+		t.Errorf("LastUse after stale touch = %v", got)
+	}
+}
+
+func TestTrackerDoubleBeginIgnored(t *testing.T) {
+	tr := NewTrackerWindow(10)
+	tr.Begin(0)
+	tr.Begin(2) // already serving
+	tr.End(4)
+	if got := tr.Utilization(10); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.4", got)
+	}
+}
+
+// Property: utilisation is always within [0, 1].
+func TestTrackerBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		tr := NewTrackerWindow(5)
+		now := 0.0
+		for _, r := range raw {
+			now += float64(r%7) * 0.5
+			if r%2 == 0 {
+				tr.Begin(now)
+			} else {
+				tr.End(now)
+			}
+			u := tr.Utilization(now)
+			if u < 0 || u > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTrackerWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero window did not panic")
+		}
+	}()
+	NewTrackerWindow(0)
+}
+
+func TestLRU(t *testing.T) {
+	l := NewLRU()
+	if _, ok := l.Victim(); ok {
+		t.Error("empty LRU returned a victim")
+	}
+	l.Touch("a")
+	l.Touch("b")
+	l.Touch("c")
+	if v, _ := l.Victim(); v != "a" {
+		t.Errorf("victim = %q, want a", v)
+	}
+	l.Touch("a") // a becomes most recent
+	if v, _ := l.Victim(); v != "b" {
+		t.Errorf("victim after touch = %q, want b", v)
+	}
+	l.Remove("b")
+	if v, _ := l.PopVictim(); v != "c" {
+		t.Errorf("pop victim = %q, want c", v)
+	}
+	if l.Len() != 1 || !l.Contains("a") || l.Contains("c") {
+		t.Errorf("LRU state wrong: len=%d", l.Len())
+	}
+	l.Remove("zzz") // no-op
+}
+
+func TestLoadTimes(t *testing.T) {
+	if got := WarmLoadTime(12); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("WarmLoadTime(12) = %v, want 1", got)
+	}
+	if got := WarmLoadTime(-5); got != 0 {
+		t.Errorf("WarmLoadTime(-5) = %v, want 0", got)
+	}
+	cold := ColdStartTime(12)
+	if cold <= WarmLoadTime(12) {
+		t.Error("cold start should cost more than warm reload")
+	}
+	want := ColdStartBase + 12.0/RemoteFetchGBps + 12.0/PCIeBandwidthGBps
+	if math.Abs(cold-want) > 1e-12 {
+		t.Errorf("ColdStartTime(12) = %v, want %v", cold, want)
+	}
+}
+
+func TestIdleTimeoutMatchesPaper(t *testing.T) {
+	if IdleTimeout != 600 {
+		t.Errorf("IdleTimeout = %v, want 600 (ten minutes)", IdleTimeout)
+	}
+	if HotUtilization != 0.30 {
+		t.Errorf("HotUtilization = %v, want 0.30", HotUtilization)
+	}
+}
+
+// Property: under random transition attempts, the machine only ever
+// holds legal states and rejects exactly the non-Fig.8 edges.
+func TestMachineRandomWalkProperty(t *testing.T) {
+	states := []State{Cold, Warm, TimeSharing, ExclusiveHot}
+	f := func(moves []uint8) bool {
+		m := NewMachine()
+		transitions := 0
+		for _, mv := range moves {
+			target := states[int(mv)%len(states)]
+			from := m.State()
+			err := m.To(target)
+			if CanTransition(from, target) != (err == nil) {
+				return false
+			}
+			if err == nil {
+				transitions++
+				if m.State() != target {
+					return false
+				}
+			} else if m.State() != from {
+				return false
+			}
+		}
+		return m.Transitions() == transitions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package keepalive
+
+import "container/list"
+
+// LRU orders time-sharing residents of a slice by recency of use, so the
+// FFS invoker can pick "the least-recently-used (LRU) instance for
+// eviction" (§5.3). Keys are instance IDs.
+type LRU struct {
+	order *list.List // front = most recent
+	index map[string]*list.Element
+}
+
+// NewLRU returns an empty LRU.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), index: make(map[string]*list.Element)}
+}
+
+// Len returns the number of tracked instances.
+func (l *LRU) Len() int { return l.order.Len() }
+
+// Touch marks id as most recently used, inserting it if new.
+func (l *LRU) Touch(id string) {
+	if e, ok := l.index[id]; ok {
+		l.order.MoveToFront(e)
+		return
+	}
+	l.index[id] = l.order.PushFront(id)
+}
+
+// Contains reports whether id is tracked.
+func (l *LRU) Contains(id string) bool {
+	_, ok := l.index[id]
+	return ok
+}
+
+// Remove drops id from the LRU (e.g. after eviction or promotion).
+func (l *LRU) Remove(id string) {
+	if e, ok := l.index[id]; ok {
+		l.order.Remove(e)
+		delete(l.index, id)
+	}
+}
+
+// Victim returns the least recently used instance without removing it;
+// ok is false when empty.
+func (l *LRU) Victim() (string, bool) {
+	e := l.order.Back()
+	if e == nil {
+		return "", false
+	}
+	return e.Value.(string), true
+}
+
+// PopVictim removes and returns the least recently used instance.
+func (l *LRU) PopVictim() (string, bool) {
+	id, ok := l.Victim()
+	if ok {
+		l.Remove(id)
+	}
+	return id, ok
+}

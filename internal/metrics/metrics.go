@@ -1,0 +1,234 @@
+// Package metrics collects and summarises the quantities the paper's
+// evaluation reports: SLO hit rates, throughput, latency CDFs and
+// percentiles, the queue/load/exec/transfer latency breakdown (Fig. 14),
+// and GPU/MIG time and utilisation timelines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RequestRecord is the outcome of one request.
+type RequestRecord struct {
+	// ID is the request's identity (trace ID, or a caller-chosen tag
+	// for injected requests — e.g. a workflow chain ID).
+	ID      int
+	Func    int
+	Arrival float64
+	// Completion is when the result was produced; meaningless if Dropped.
+	Completion float64
+	// Latency breakdown (Fig. 14).
+	Queue    float64
+	Load     float64
+	Exec     float64
+	Transfer float64
+	// SLO is the request's latency budget (0 = none).
+	SLO float64
+	// Dropped marks requests the platform could not serve.
+	Dropped bool
+}
+
+// Latency returns the end-to-end latency.
+func (r RequestRecord) Latency() float64 { return r.Completion - r.Arrival }
+
+// SLOHit reports whether the request completed within its SLO.
+func (r RequestRecord) SLOHit() bool {
+	return !r.Dropped && r.SLO > 0 && r.Latency() <= r.SLO
+}
+
+// Collector accumulates request records.
+type Collector struct {
+	records []RequestRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record adds one request outcome.
+func (c *Collector) Record(r RequestRecord) { c.records = append(c.records, r) }
+
+// Len returns the number of recorded requests.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns all records (shared slice; do not mutate).
+func (c *Collector) Records() []RequestRecord { return c.records }
+
+// Completed returns the number of served (non-dropped) requests.
+func (c *Collector) Completed() int {
+	n := 0
+	for _, r := range c.records {
+		if !r.Dropped {
+			n++
+		}
+	}
+	return n
+}
+
+// SLOHitRate returns the fraction of all requests that met their SLO.
+// Dropped requests count as misses (they got no timely answer).
+func (c *Collector) SLOHitRate() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range c.records {
+		if r.SLOHit() {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(c.records))
+}
+
+// SLOHitRateByFunc returns per-function SLO hit rates.
+func (c *Collector) SLOHitRateByFunc() map[int]float64 {
+	hits := map[int]int{}
+	total := map[int]int{}
+	for _, r := range c.records {
+		total[r.Func]++
+		if r.SLOHit() {
+			hits[r.Func]++
+		}
+	}
+	out := make(map[int]float64, len(total))
+	for f, n := range total {
+		out[f] = float64(hits[f]) / float64(n)
+	}
+	return out
+}
+
+// Throughput returns completed requests per second over the duration.
+func (c *Collector) Throughput(duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	return float64(c.Completed()) / duration
+}
+
+// Latencies returns the sorted latencies of completed requests.
+func (c *Collector) Latencies() []float64 {
+	var out []float64
+	for _, r := range c.records {
+		if !r.Dropped {
+			out = append(out, r.Latency())
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// LatenciesByFunc returns sorted per-function latencies.
+func (c *Collector) LatenciesByFunc() map[int][]float64 {
+	out := map[int][]float64{}
+	for _, r := range c.records {
+		if !r.Dropped {
+			out[r.Func] = append(out[r.Func], r.Latency())
+		}
+	}
+	for f := range out {
+		sort.Float64s(out[f])
+	}
+	return out
+}
+
+// Breakdown is the mean per-request latency decomposition (Fig. 14).
+type Breakdown struct {
+	Queue    float64
+	Load     float64
+	Exec     float64
+	Transfer float64
+}
+
+// Total returns the summed components.
+func (b Breakdown) Total() float64 { return b.Queue + b.Load + b.Exec + b.Transfer }
+
+// String renders the breakdown in milliseconds.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("queue=%.0fms load=%.0fms exec=%.0fms transfer=%.0fms",
+		b.Queue*1000, b.Load*1000, b.Exec*1000, b.Transfer*1000)
+}
+
+// MeanBreakdown returns the average decomposition over completed
+// requests.
+func (c *Collector) MeanBreakdown() Breakdown {
+	var b Breakdown
+	n := 0
+	for _, r := range c.records {
+		if r.Dropped {
+			continue
+		}
+		b.Queue += r.Queue
+		b.Load += r.Load
+		b.Exec += r.Exec
+		b.Transfer += r.Transfer
+		n++
+	}
+	if n == 0 {
+		return Breakdown{}
+	}
+	inv := 1 / float64(n)
+	b.Queue *= inv
+	b.Load *= inv
+	b.Exec *= inv
+	b.Transfer *= inv
+	return b
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted values using
+// nearest-rank. Empty input returns NaN.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Latency  float64
+	Fraction float64
+}
+
+// CDF returns an empirical CDF of sorted values downsampled to at most
+// points entries (always including the max).
+func CDF(sorted []float64, points int) []CDFPoint {
+	n := len(sorted)
+	if n == 0 {
+		return nil
+	}
+	if points <= 0 || points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*n/points - 1
+		out = append(out, CDFPoint{
+			Latency:  sorted[idx],
+			Fraction: float64(idx+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rec(fn int, arrival, latency, slo float64) RequestRecord {
+	return RequestRecord{
+		Func: fn, Arrival: arrival, Completion: arrival + latency, SLO: slo,
+	}
+}
+
+func TestSLOHitRate(t *testing.T) {
+	c := NewCollector()
+	c.Record(rec(0, 0, 1.0, 1.5))                                         // hit
+	c.Record(rec(0, 1, 2.0, 1.5))                                         // miss
+	c.Record(rec(1, 2, 1.4, 1.5))                                         // hit
+	c.Record(RequestRecord{Func: 1, Arrival: 3, SLO: 1.5, Dropped: true}) // miss
+	if got := c.SLOHitRate(); got != 0.5 {
+		t.Errorf("SLOHitRate = %v, want 0.5", got)
+	}
+	by := c.SLOHitRateByFunc()
+	if by[0] != 0.5 || by[1] != 0.5 {
+		t.Errorf("per-func rates = %v", by)
+	}
+	if c.Completed() != 3 {
+		t.Errorf("Completed = %d, want 3", c.Completed())
+	}
+	if got := c.Throughput(10); got != 0.3 {
+		t.Errorf("Throughput = %v, want 0.3", got)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	if c.SLOHitRate() != 0 || c.Throughput(10) != 0 || c.Len() != 0 {
+		t.Error("empty collector not zero-valued")
+	}
+	if b := c.MeanBreakdown(); b.Total() != 0 {
+		t.Error("empty breakdown not zero")
+	}
+	if lats := c.Latencies(); len(lats) != 0 {
+		t.Error("empty latencies not empty")
+	}
+}
+
+func TestLatenciesSorted(t *testing.T) {
+	c := NewCollector()
+	for _, l := range []float64{3, 1, 2} {
+		c.Record(rec(0, 0, l, 0))
+	}
+	lats := c.Latencies()
+	if lats[0] != 1 || lats[1] != 2 || lats[2] != 3 {
+		t.Errorf("latencies = %v", lats)
+	}
+	by := c.LatenciesByFunc()
+	if len(by[0]) != 3 {
+		t.Errorf("per-func latencies = %v", by)
+	}
+}
+
+func TestMeanBreakdown(t *testing.T) {
+	c := NewCollector()
+	c.Record(RequestRecord{Arrival: 0, Completion: 1, Queue: 0.2, Load: 0.1, Exec: 0.6, Transfer: 0.1})
+	c.Record(RequestRecord{Arrival: 0, Completion: 1, Queue: 0.4, Load: 0.3, Exec: 0.2, Transfer: 0.1})
+	c.Record(RequestRecord{Dropped: true, Queue: 99})
+	b := c.MeanBreakdown()
+	if math.Abs(b.Queue-0.3) > 1e-12 || math.Abs(b.Load-0.2) > 1e-12 ||
+		math.Abs(b.Exec-0.4) > 1e-12 || math.Abs(b.Transfer-0.1) > 1e-12 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if math.Abs(b.Total()-1.0) > 1e-12 {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {10, 1}, {50, 5}, {95, 10}, {100, 10}, {90, 9},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("P50 of empty should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cdf := CDF(xs, 2)
+	if len(cdf) != 2 {
+		t.Fatalf("CDF points = %d, want 2", len(cdf))
+	}
+	if cdf[1].Latency != 4 || cdf[1].Fraction != 1 {
+		t.Errorf("last CDF point = %+v, want max/1.0", cdf[1])
+	}
+	if cdf[0].Latency != 2 || cdf[0].Fraction != 0.5 {
+		t.Errorf("first CDF point = %+v", cdf[0])
+	}
+	if CDF(nil, 5) != nil {
+		t.Error("CDF of empty should be nil")
+	}
+	full := CDF(xs, 0)
+	if len(full) != 4 {
+		t.Errorf("CDF with points=0 should use all values, got %d", len(full))
+	}
+}
+
+// Property: CDF fractions are non-decreasing and end at 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8, pts uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		sortFloats(xs)
+		cdf := CDF(xs, int(pts%16)+1)
+		prev := 0.0
+		for _, p := range cdf {
+			if p.Fraction < prev {
+				return false
+			}
+			prev = p.Fraction
+		}
+		return cdf[len(cdf)-1].Fraction == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty should be NaN")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, 0.2)
+	tl.Add(10, 0.8)
+	tl.Add(20, 0.4)
+	if tl.Len() != 3 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	if got := tl.At(5); got != 0.2 {
+		t.Errorf("At(5) = %v, want 0.2", got)
+	}
+	if got := tl.At(15); got != 0.8 {
+		t.Errorf("At(15) = %v, want 0.8", got)
+	}
+	if got := tl.At(-1); got != 0 {
+		t.Errorf("At(-1) = %v, want 0", got)
+	}
+	if got := tl.Max(); got != 0.8 {
+		t.Errorf("Max = %v", got)
+	}
+	// Time-weighted mean over [0,20]: (0.2*10 + 0.8*10)/20 = 0.5.
+	if got := tl.Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.5", got)
+	}
+	// Value below 0.5 during [0,10) = half the span.
+	if got := tl.FractionBelow(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+}
+
+func TestTimelineOutOfOrderPanics(t *testing.T) {
+	var tl Timeline
+	tl.Add(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Add did not panic")
+		}
+	}()
+	tl.Add(5, 1)
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	var tl Timeline
+	if tl.Mean() != 0 || tl.Max() != 0 || tl.FractionBelow(1) != 0 {
+		t.Error("empty timeline not zero-valued")
+	}
+	tl.Add(5, 3)
+	if tl.Mean() != 0 {
+		t.Error("single-sample mean should be 0")
+	}
+}

@@ -1,0 +1,253 @@
+package mig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is the set of slice profiles a single GPU is partitioned into.
+// Order is not significant; Canonical sorts largest-first.
+type Config []SliceType
+
+// placements lists the memory-slot ranges each profile may occupy on an
+// A100 (8 memory slots, 7 GPCs). These hardware placement rules are what
+// make "arbitrary MIG partitions" impossible (paper §2.2).
+var placements = map[SliceType][][2]int{
+	Slice1g: {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}},
+	Slice2g: {{0, 2}, {2, 4}, {4, 6}},
+	Slice3g: {{0, 4}, {4, 8}},
+	Slice4g: {{0, 4}},
+	Slice7g: {{0, 8}},
+}
+
+// Canonical returns a copy of the config sorted largest slice first.
+func (c Config) Canonical() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// String renders the config as "4g.40gb+2g.20gb+1g.10gb".
+func (c Config) String() string {
+	if len(c) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(c))
+	for i, t := range c.Canonical() {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseConfig parses the String form back into a Config.
+func ParseConfig(s string) (Config, error) {
+	if s == "" || s == "(empty)" {
+		return nil, nil
+	}
+	var c Config
+	for _, part := range strings.Split(s, "+") {
+		t, err := ParseSliceType(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		c = append(c, t)
+	}
+	return c, nil
+}
+
+// TotalGPCs returns the summed compute of all slices.
+func (c Config) TotalGPCs() int {
+	n := 0
+	for _, t := range c {
+		n += t.GPCs()
+	}
+	return n
+}
+
+// TotalMemGB returns the summed memory of all slices.
+func (c Config) TotalMemGB() int {
+	n := 0
+	for _, t := range c {
+		n += t.MemGB()
+	}
+	return n
+}
+
+// Counts returns the number of slices of each profile.
+func (c Config) Counts() map[SliceType]int {
+	m := make(map[SliceType]int, len(c))
+	for _, t := range c {
+		m[t]++
+	}
+	return m
+}
+
+// Valid reports whether the slices can physically coexist on one A100:
+// there must be a non-overlapping assignment of each slice to one of its
+// allowed memory-slot ranges, the per-profile max counts must hold, and
+// total compute must not exceed 7 GPCs.
+func (c Config) Valid() bool {
+	if len(c) == 0 {
+		return false
+	}
+	if c.TotalGPCs() > 7 {
+		return false
+	}
+	for t, n := range c.Counts() {
+		if n > t.MaxCount() {
+			return false
+		}
+	}
+	// Backtracking placement, largest slices first (fewest options first).
+	sorted := c.Canonical()
+	var occupied [8]bool
+	var place func(i int) bool
+	place = func(i int) bool {
+		if i == len(sorted) {
+			return true
+		}
+		for _, r := range placements[sorted[i]] {
+			ok := true
+			for s := r[0]; s < r[1]; s++ {
+				if occupied[s] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for s := r[0]; s < r[1]; s++ {
+				occupied[s] = true
+			}
+			if place(i + 1) {
+				return true
+			}
+			for s := r[0]; s < r[1]; s++ {
+				occupied[s] = false
+			}
+		}
+		return false
+	}
+	return place(0)
+}
+
+// Maximal reports whether the config is valid and no further slice of any
+// profile can be added.
+func (c Config) Maximal() bool {
+	if !c.Valid() {
+		return false
+	}
+	for _, t := range SliceTypes {
+		if Config(append(append(Config{}, c...), t)).Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// key returns a canonical comparable representation.
+func (c Config) key() string { return c.String() }
+
+// EnumerateConfigs returns every physically valid, non-empty partition of
+// one A100, deduplicated as multisets and sorted by descending total GPCs
+// then name. The NVIDIA MIG user guide tabulates 18 of these as the
+// officially documented configurations (paper §2.2); our enumeration is a
+// superset derived from the placement rules, and contains every
+// configuration the paper uses.
+func EnumerateConfigs() []Config {
+	seen := make(map[string]Config)
+	// Upper bounds per profile keep the search tiny.
+	var rec func(cur Config, next int)
+	rec = func(cur Config, next int) {
+		if len(cur) > 0 {
+			cc := cur.Canonical()
+			if cc.Valid() {
+				seen[cc.key()] = cc
+			} else {
+				return // adding more slices cannot restore validity
+			}
+		}
+		for ti := next; ti < len(SliceTypes); ti++ {
+			t := SliceTypes[ti]
+			if cur.Counts()[t] >= t.MaxCount() {
+				continue
+			}
+			rec(append(cur, t), ti)
+		}
+	}
+	rec(nil, 0)
+	out := make([]Config, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		gi, gj := out[i].TotalGPCs(), out[j].TotalGPCs()
+		if gi != gj {
+			return gi > gj
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+// MustConfig builds a Config from profile names and panics if the result
+// is not a valid partition; intended for package-level configuration
+// tables.
+func MustConfig(names ...string) Config {
+	var c Config
+	for _, n := range names {
+		t, err := ParseSliceType(n)
+		if err != nil {
+			panic(err)
+		}
+		c = append(c, t)
+	}
+	if !c.Valid() {
+		panic(fmt.Sprintf("mig: invalid config %v", c))
+	}
+	return c
+}
+
+// Partition schemes used in the paper's evaluation.
+var (
+	// DefaultConfig is the default per-GPU partition (§6): one 4g.40gb,
+	// one 2g.20gb and one 1g.10gb.
+	DefaultConfig = Config{Slice4g, Slice2g, Slice1g}
+	// ConfigP1 is scheme P1 (Table 7): identical to the default, applied
+	// to all 8 GPUs of a node.
+	ConfigP1 = Config{Slice4g, Slice2g, Slice1g}
+	// ConfigP2 is scheme P2 (Table 7): 3g.40gb + 2g.20gb + 2g.20gb.
+	ConfigP2 = Config{Slice3g, Slice2g, Slice2g}
+	// ConfigFull1g partitions the whole GPU into seven 1g.10gb slices.
+	ConfigFull1g = Config{Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g}
+	// Config2g3x1g is 2g.20gb ×3 + 1g.10gb (used by the Hybrid scheme).
+	Config2g3x1g = Config{Slice2g, Slice2g, Slice2g, Slice1g}
+	// Config3g4g is 3g.40gb + 4g.40gb (used by the Hybrid scheme).
+	Config3g4g = Config{Slice4g, Slice3g}
+	// ConfigWhole is the unpartitioned GPU as a single 7g.80gb slice.
+	ConfigWhole = Config{Slice7g}
+)
+
+// HybridNode returns the per-GPU partitions of the paper's Hybrid scheme
+// (Table 7) for an 8-GPU node: 1×[1g×7], 2×[2g×3+1g], 4×[3g+4g],
+// 1×[4g+2g+1g].
+func HybridNode() []Config {
+	return []Config{
+		ConfigFull1g,
+		Config2g3x1g, Config2g3x1g,
+		Config3g4g, Config3g4g, Config3g4g, Config3g4g,
+		DefaultConfig,
+	}
+}
+
+// UniformNode returns cfg repeated for each of n GPUs.
+func UniformNode(cfg Config, n int) []Config {
+	out := make([]Config, n)
+	for i := range out {
+		out[i] = cfg
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package mig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidity(t *testing.T) {
+	valid := []Config{
+		{Slice7g},
+		{Slice4g},
+		{Slice4g, Slice3g},
+		{Slice4g, Slice2g, Slice1g}, // the paper's default partition
+		{Slice3g, Slice3g},
+		{Slice3g, Slice2g, Slice2g}, // P2
+		{Slice2g, Slice2g, Slice2g, Slice1g},
+		{Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g},
+		{Slice4g, Slice1g, Slice1g, Slice1g},
+		{Slice3g, Slice2g, Slice1g, Slice1g},
+	}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("config %v should be valid", c)
+		}
+	}
+	invalid := []Config{
+		{},                                   // empty
+		{Slice7g, Slice1g},                   // 7g occupies the whole GPU
+		{Slice4g, Slice4g},                   // max one 4g
+		{Slice4g, Slice3g, Slice1g},          // 8 GPCs > 7
+		{Slice3g, Slice3g, Slice1g},          // memory slots exhausted
+		{Slice2g, Slice2g, Slice2g, Slice2g}, // max three 2g
+		{Slice2g, Slice2g, Slice2g, Slice1g, Slice1g},                            // 8 GPCs
+		{Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g, Slice1g}, // max seven 1g
+	}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("config %v should be invalid", c)
+		}
+	}
+}
+
+func TestConfigStringRoundTrip(t *testing.T) {
+	c := Config{Slice1g, Slice4g, Slice2g}
+	s := c.String()
+	if s != "4g.40gb+2g.20gb+1g.10gb" {
+		t.Errorf("String = %q", s)
+	}
+	back, err := ParseConfig(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s {
+		t.Errorf("round trip = %q, want %q", back.String(), s)
+	}
+	if _, err := ParseConfig("4g.40gb+bogus"); err == nil {
+		t.Error("ParseConfig accepted bogus profile")
+	}
+}
+
+func TestConfigTotals(t *testing.T) {
+	c := DefaultConfig
+	if c.TotalGPCs() != 7 {
+		t.Errorf("default partition GPCs = %d, want 7", c.TotalGPCs())
+	}
+	if c.TotalMemGB() != 70 {
+		t.Errorf("default partition mem = %d, want 70", c.TotalMemGB())
+	}
+}
+
+// TestTable7Partitions pins the partition schemes of paper Table 7.
+func TestTable7Partitions(t *testing.T) {
+	hybrid := HybridNode()
+	if len(hybrid) != 8 {
+		t.Fatalf("hybrid node has %d GPUs, want 8", len(hybrid))
+	}
+	wantHybrid := []string{
+		"1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb",
+		"2g.20gb+2g.20gb+2g.20gb+1g.10gb",
+		"2g.20gb+2g.20gb+2g.20gb+1g.10gb",
+		"4g.40gb+3g.40gb",
+		"4g.40gb+3g.40gb",
+		"4g.40gb+3g.40gb",
+		"4g.40gb+3g.40gb",
+		"4g.40gb+2g.20gb+1g.10gb",
+	}
+	for i, cfg := range hybrid {
+		if !cfg.Valid() {
+			t.Errorf("hybrid gpu %d config %v invalid", i, cfg)
+		}
+		if cfg.String() != wantHybrid[i] {
+			t.Errorf("hybrid gpu %d = %s, want %s", i, cfg, wantHybrid[i])
+		}
+	}
+	if ConfigP1.String() != "4g.40gb+2g.20gb+1g.10gb" {
+		t.Errorf("P1 = %s", ConfigP1)
+	}
+	if ConfigP2.String() != "3g.40gb+2g.20gb+2g.20gb" {
+		t.Errorf("P2 = %s", ConfigP2)
+	}
+	uni := UniformNode(ConfigP2, 8)
+	if len(uni) != 8 || uni[3].String() != ConfigP2.String() {
+		t.Errorf("UniformNode wrong: %v", uni)
+	}
+}
+
+func TestEnumerateConfigs(t *testing.T) {
+	all := EnumerateConfigs()
+	if len(all) == 0 {
+		t.Fatal("no configs enumerated")
+	}
+	seen := make(map[string]bool)
+	for _, c := range all {
+		if !c.Valid() {
+			t.Errorf("enumerated invalid config %v", c)
+		}
+		if seen[c.String()] {
+			t.Errorf("duplicate config %v", c)
+		}
+		seen[c.String()] = true
+	}
+	// Every partition scheme the paper uses must be enumerable.
+	for _, want := range []Config{DefaultConfig, ConfigP2, ConfigFull1g,
+		Config2g3x1g, Config3g4g, ConfigWhole} {
+		if !seen[want.Canonical().String()] {
+			t.Errorf("paper config %v missing from enumeration", want)
+		}
+	}
+	// A GPU can never be split into two 4g or 7g+anything.
+	if seen["4g.40gb+4g.40gb"] || seen["7g.80gb+1g.10gb"] {
+		t.Error("enumeration contains physically impossible config")
+	}
+}
+
+func TestEnumerateConfigsMaximal(t *testing.T) {
+	nMax := 0
+	for _, c := range EnumerateConfigs() {
+		if c.Maximal() {
+			nMax++
+			// A maximal config uses all 7 GPCs or has no room left.
+			if c.TotalGPCs() < 6 {
+				t.Errorf("suspicious maximal config %v with %d GPCs", c, c.TotalGPCs())
+			}
+		}
+	}
+	if nMax == 0 {
+		t.Error("no maximal configs found")
+	}
+}
+
+// Property: validity is monotone — any subset of a valid config is valid.
+func TestConfigSubsetValidityProperty(t *testing.T) {
+	all := EnumerateConfigs()
+	f := func(pick uint8, drop uint8) bool {
+		c := all[int(pick)%len(all)]
+		if len(c) <= 1 {
+			return true
+		}
+		i := int(drop) % len(c)
+		sub := append(append(Config{}, c[:i]...), c[i+1:]...)
+		return len(sub) == 0 || sub.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustConfigPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConfig accepted invalid config")
+		}
+	}()
+	MustConfig("4g.40gb", "4g.40gb")
+}

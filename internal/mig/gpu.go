@@ -1,0 +1,256 @@
+package mig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReconfigureDelay is the time (seconds) a GPU is unavailable while its
+// MIG partition is changed. The paper reports several minutes for
+// checkpoint, re-partition and resume (§2.2); we use 5 minutes. The value
+// is exported so experiments can study sensitivity, but no scheduler in
+// this repo reconfigures on the request path — that is the point of the
+// paper.
+const ReconfigureDelay = 300.0
+
+// Slice is one MIG instance on a GPU: the unit of allocation, strong
+// isolation, and activity accounting.
+type Slice struct {
+	Type SliceType
+	GPU  *GPU
+	// Index of the slice within its GPU (stable across frees).
+	Index int
+
+	// Owner is an opaque tag identifying the holder (instance ID);
+	// empty when free.
+	Owner string
+
+	// Activity accounting.
+	active      bool
+	activeSince float64
+	activeTotal float64
+
+	// Occupancy accounting ("occupied" = allocated to an instance,
+	// regardless of whether it is processing; paper Fig. 5).
+	occupiedSince float64
+	occupiedTotal float64
+}
+
+// ID returns a stable identifier like "gpu3/2g.20gb#1".
+func (s *Slice) ID() string {
+	return fmt.Sprintf("gpu%d/%s#%d", s.GPU.ID, s.Type, s.Index)
+}
+
+// Free reports whether the slice has no owner.
+func (s *Slice) Free() bool { return s.Owner == "" }
+
+// Allocate assigns the slice to owner at time now. Allocating a held
+// slice is a model bug and panics.
+func (s *Slice) Allocate(owner string, now float64) {
+	if s.Owner != "" {
+		panic(fmt.Sprintf("mig: slice %s already owned by %s", s.ID(), s.Owner))
+	}
+	if owner == "" {
+		panic("mig: empty owner")
+	}
+	s.Owner = owner
+	s.occupiedSince = now
+}
+
+// Release frees the slice at time now. Releasing a free slice panics.
+func (s *Slice) Release(now float64) {
+	if s.Owner == "" {
+		panic(fmt.Sprintf("mig: release of free slice %s", s.ID()))
+	}
+	if s.active {
+		s.SetActive(false, now)
+	}
+	s.occupiedTotal += now - s.occupiedSince
+	s.Owner = ""
+}
+
+// SetActive marks the slice as processing (or idle) at time now. Activity
+// drives MIG time (per-slice busy time) and GPU time (union over the
+// GPU's slices).
+func (s *Slice) SetActive(active bool, now float64) {
+	if s.active == active {
+		return
+	}
+	s.active = active
+	if active {
+		s.activeSince = now
+		s.GPU.sliceActivated(now)
+	} else {
+		s.activeTotal += now - s.activeSince
+		s.GPU.sliceDeactivated(now)
+	}
+}
+
+// Active reports whether the slice is currently processing.
+func (s *Slice) Active() bool { return s.active }
+
+// ActiveTime returns the cumulative processing time up to now ("MIG
+// time" for this slice).
+func (s *Slice) ActiveTime(now float64) float64 {
+	t := s.activeTotal
+	if s.active {
+		t += now - s.activeSince
+	}
+	return t
+}
+
+// OccupiedTime returns the cumulative time the slice has been allocated.
+func (s *Slice) OccupiedTime(now float64) float64 {
+	t := s.occupiedTotal
+	if s.Owner != "" {
+		t += now - s.occupiedSince
+	}
+	return t
+}
+
+// GPU is one physical accelerator partitioned into MIG slices.
+type GPU struct {
+	ID     int
+	Node   int // owning node index
+	config Config
+	Slices []*Slice
+
+	// Union-of-activity accounting for "GPU time".
+	activeSlices int
+	unionSince   float64
+	unionTotal   float64
+
+	// Reconfiguration: the GPU is unusable until availableAt.
+	availableAt float64
+}
+
+// NewGPU creates a GPU partitioned per cfg. Invalid configs panic.
+func NewGPU(node, id int, cfg Config) *GPU {
+	if !cfg.Valid() {
+		panic(fmt.Sprintf("mig: invalid config %v for gpu %d", cfg, id))
+	}
+	g := &GPU{ID: id, Node: node, config: cfg.Canonical()}
+	g.buildSlices()
+	return g
+}
+
+func (g *GPU) buildSlices() {
+	g.Slices = g.Slices[:0]
+	for i, t := range g.config {
+		g.Slices = append(g.Slices, &Slice{Type: t, GPU: g, Index: i})
+	}
+}
+
+// Config returns the GPU's current partition.
+func (g *GPU) Config() Config { return g.config }
+
+// Available reports whether the GPU is usable at time now (i.e. not mid
+// reconfiguration).
+func (g *GPU) Available(now float64) bool { return now >= g.availableAt }
+
+// Reconfigure changes the partition at time now. All slices must be free.
+// The GPU becomes unavailable for ReconfigureDelay seconds — the rigid
+// constraint central to the paper.
+func (g *GPU) Reconfigure(cfg Config, now float64) error {
+	if !cfg.Valid() {
+		return fmt.Errorf("mig: invalid config %v", cfg)
+	}
+	for _, s := range g.Slices {
+		if !s.Free() {
+			return fmt.Errorf("mig: gpu %d slice %s still owned by %s", g.ID, s.ID(), s.Owner)
+		}
+	}
+	// Preserve accumulated accounting across the repartition.
+	g.config = cfg.Canonical()
+	g.buildSlices()
+	g.availableAt = now + ReconfigureDelay
+	return nil
+}
+
+func (g *GPU) sliceActivated(now float64) {
+	if g.activeSlices == 0 {
+		g.unionSince = now
+	}
+	g.activeSlices++
+}
+
+func (g *GPU) sliceDeactivated(now float64) {
+	g.activeSlices--
+	if g.activeSlices < 0 {
+		panic("mig: negative active slice count")
+	}
+	if g.activeSlices == 0 {
+		g.unionTotal += now - g.unionSince
+	}
+}
+
+// ActiveTime returns the cumulative time any slice of the GPU was
+// processing ("GPU time": the whole GPU counts as active even if only one
+// slice is used, §6).
+func (g *GPU) ActiveTime(now float64) float64 {
+	t := g.unionTotal
+	if g.activeSlices > 0 {
+		t += now - g.unionSince
+	}
+	return t
+}
+
+// MIGTime returns the summed per-slice active time.
+func (g *GPU) MIGTime(now float64) float64 {
+	t := 0.0
+	for _, s := range g.Slices {
+		t += s.ActiveTime(now)
+	}
+	return t
+}
+
+// FreeSlices returns the unallocated slices, largest first.
+func (g *GPU) FreeSlices(now float64) []*Slice {
+	if !g.Available(now) {
+		return nil
+	}
+	var out []*Slice
+	for _, s := range g.Slices {
+		if s.Free() {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type > out[j].Type
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// FreeGPCs returns the total compute of free slices.
+func (g *GPU) FreeGPCs(now float64) int {
+	n := 0
+	for _, s := range g.FreeSlices(now) {
+		n += s.Type.GPCs()
+	}
+	return n
+}
+
+// ActiveGPCs returns the compute of slices currently processing.
+func (g *GPU) ActiveGPCs() int {
+	n := 0
+	for _, s := range g.Slices {
+		if s.active {
+			n += s.Type.GPCs()
+		}
+	}
+	return n
+}
+
+// OccupiedGPCs returns the compute of allocated slices.
+func (g *GPU) OccupiedGPCs() int {
+	n := 0
+	for _, s := range g.Slices {
+		if !s.Free() {
+			n += s.Type.GPCs()
+		}
+	}
+	return n
+}

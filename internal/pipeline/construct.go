@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"errors"
+	"sort"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/mig"
+)
+
+// ErrNoFit reports that no partition in the ranked list can be supported
+// by the available slices (within the SLO, when one is given).
+var ErrNoFit = errors.New("pipeline: no partition fits the available slices")
+
+// Construct runs the invoker's launch procedure of §5.2.2: walk the
+// CV-ranked partitions in order and deploy the first one the available
+// slices can support. For each partition, stages are bound best-fit:
+// the most memory-hungry stage first, each to the smallest remaining
+// slice that fits — conserving large slices for functions that need
+// them. When slo > 0, a candidate whose unloaded latency exceeds the SLO
+// is rejected and the walk continues.
+//
+// It returns the plan and, aligned with plan.Stages, the indices into
+// avail of the slices each stage uses.
+func Construct(d *dag.DAG, parts []dag.Partition, avail []mig.SliceType, slo float64) (Plan, []int, error) {
+	for _, part := range parts {
+		idx, ok := assign(d, part, avail)
+		if !ok {
+			continue
+		}
+		types := make([]mig.SliceType, len(idx))
+		for i, ai := range idx {
+			types[i] = avail[ai]
+		}
+		plan, err := BuildPlan(d, part, types)
+		if err != nil {
+			continue
+		}
+		if slo > 0 && plan.Latency > slo {
+			continue
+		}
+		return plan, idx, nil
+	}
+	return Plan{}, nil, ErrNoFit
+}
+
+// assign binds stages to available slices best-fit-decreasing; it
+// returns, per stage, the index into avail, or ok=false when some stage
+// cannot be placed.
+func assign(d *dag.DAG, part dag.Partition, avail []mig.SliceType) ([]int, bool) {
+	type stageNeed struct {
+		stage int
+		mem   float64
+	}
+	needs := make([]stageNeed, len(part.Stages))
+	for i, st := range part.Stages {
+		needs[i] = stageNeed{stage: i, mem: st.MemGB(d)}
+	}
+	sort.SliceStable(needs, func(i, j int) bool { return needs[i].mem > needs[j].mem })
+
+	used := make([]bool, len(avail))
+	out := make([]int, len(part.Stages))
+	for _, n := range needs {
+		best := -1
+		for ai, t := range avail {
+			if used[ai] || float64(t.MemGB()) < n.mem {
+				continue
+			}
+			if _, ok := part.Stages[n.stage].ExecOn(d, t); !ok {
+				continue
+			}
+			if best == -1 || t < avail[best] {
+				best = ai
+			}
+		}
+		if best == -1 {
+			return nil, false
+		}
+		used[best] = true
+		out[n.stage] = best
+	}
+	return out, true
+}

@@ -1,0 +1,50 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+)
+
+// Example shows the invoker's launch-time step (§5.2.2): the medium
+// image-classification function does not fit the fragmented 1g slices
+// monolithically, so construction walks the CV-ranked partitions and
+// deploys the first feasible pipeline.
+func Example() {
+	app := dnn.Get(dnn.ImageClassification)
+	d := app.BuildDAG(dnn.Medium)
+	parts, _ := d.EnumeratePartitions(mig.Slice7g)
+
+	free := []mig.SliceType{mig.Slice1g, mig.Slice1g, mig.Slice1g}
+	slo, _ := app.SLOLatency(dnn.Medium, 1.5)
+	plan, _, err := pipeline.Construct(d, parts, free, slo)
+	if err != nil {
+		fmt.Println("no fit:", err)
+		return
+	}
+	fmt.Printf("stages: %d\n", len(plan.Stages))
+	fmt.Printf("pipelined: %v\n", plan.Pipelined())
+	fmt.Printf("within SLO: %v\n", plan.Latency <= slo)
+	// Output:
+	// stages: 3
+	// pipelined: true
+	// within SLO: true
+}
+
+// ExampleMonolithic shows the baseline deployment model: the whole
+// function on one slice.
+func ExampleMonolithic() {
+	app := dnn.Get(dnn.ImageClassification)
+	d := app.BuildDAG(dnn.Medium)
+	plan, _ := pipeline.Monolithic(d, mig.Slice4g)
+	fmt.Printf("stages: %d, GPCs: %d\n", len(plan.Stages), plan.GPCs())
+	// The 18 GB function cannot run monolithically on a 1g.10gb slice.
+	if _, err := pipeline.Monolithic(d, mig.Slice1g); err != nil {
+		fmt.Println("1g: OOM")
+	}
+	// Output:
+	// stages: 1, GPCs: 4
+	// 1g: OOM
+}

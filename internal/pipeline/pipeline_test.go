@@ -1,0 +1,284 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/mig"
+)
+
+func rankedParts(t *testing.T, d *dag.DAG) []dag.Partition {
+	t.Helper()
+	parts, err := d.EnumeratePartitions(mig.Slice7g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+func TestMonolithicPlan(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Medium)
+	plan, err := Monolithic(d, mig.Slice2g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Pipelined() {
+		t.Error("monolithic plan reports pipelined")
+	}
+	ref, _ := a.ReferenceLatency(dnn.Medium)
+	if math.Abs(plan.Latency-ref) > 1e-9 {
+		t.Errorf("monolithic latency %v != reference %v", plan.Latency, ref)
+	}
+	if plan.Bottleneck <= 0 || plan.Throughput() <= 0 {
+		t.Error("plan has no throughput")
+	}
+	if plan.GPCs() != 2 {
+		t.Errorf("GPCs = %d, want 2", plan.GPCs())
+	}
+}
+
+func TestMonolithicOOM(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Medium) // 18 GB > 1g's 10 GB
+	if _, err := Monolithic(d, mig.Slice1g); err == nil {
+		t.Error("monolithic medium on 1g should fail")
+	}
+}
+
+func TestBuildPlanTransferAndBottleneck(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Medium)
+	parts := rankedParts(t, d)
+	// Find the 3-stage (fully split) partition.
+	var full dag.Partition
+	for _, p := range parts {
+		if len(p.Stages) == 3 {
+			full = p
+			break
+		}
+	}
+	plan, err := BuildPlan(d, full, []mig.SliceType{mig.Slice1g, mig.Slice1g, mig.Slice1g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Pipelined() {
+		t.Error("3-stage plan not pipelined")
+	}
+	// Per-hop transfer within the paper's 10-40 ms range.
+	for i, s := range plan.Stages {
+		if i == len(plan.Stages)-1 {
+			if s.TransferOut != 0 {
+				t.Errorf("last stage has TransferOut %v", s.TransferOut)
+			}
+			continue
+		}
+		if s.TransferOut < 0.010 || s.TransferOut > 0.040 {
+			t.Errorf("stage %d transfer %v outside 10-40 ms", i, s.TransferOut)
+		}
+	}
+	// Bottleneck = max stage exec, latency = sum + transfers.
+	sum, max := 0.0, 0.0
+	for _, s := range plan.Stages {
+		sum += s.ExecTime + s.TransferOut
+		if s.ExecTime > max {
+			max = s.ExecTime
+		}
+	}
+	if math.Abs(plan.Latency-sum) > 1e-12 || math.Abs(plan.Bottleneck-max) > 1e-12 {
+		t.Errorf("latency/bottleneck inconsistent: %+v", plan)
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Large)
+	parts := rankedParts(t, d)
+	var full dag.Partition
+	for _, p := range parts {
+		if len(p.Stages) == 3 {
+			full = p
+			break
+		}
+	}
+	// Wrong arity.
+	if _, err := BuildPlan(d, full, []mig.SliceType{mig.Slice2g}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Large stages (>=12 GB) cannot sit on 1g.
+	if _, err := BuildPlan(d, full, []mig.SliceType{mig.Slice1g, mig.Slice2g, mig.Slice2g}); err == nil {
+		t.Error("OOM stage accepted")
+	}
+}
+
+// Pipelining trades latency for the ability to use fragmented slices:
+// the pipelined latency exceeds the monolithic one (transfer + slower
+// stages) but stays within the 1.5x SLO for the paper's applications.
+func TestPipelineLatencyVsSLO(t *testing.T) {
+	for _, a := range dnn.Apps() {
+		for _, v := range dnn.Variants {
+			if a.Excluded(v) {
+				continue
+			}
+			baseMin, _ := a.MinSliceBaseline(v)
+			slo, _ := a.SLOLatency(v, 1.5)
+			d := a.BuildDAG(v)
+			parts := rankedParts(t, d)
+			// Fragmented pool: slices strictly smaller than the
+			// baseline's minimum — what ESG would leave idle.
+			var avail []mig.SliceType
+			for _, st := range mig.SliceTypes {
+				if st < baseMin {
+					for i := 0; i < 5; i++ {
+						avail = append(avail, st)
+					}
+				}
+			}
+			if len(avail) == 0 {
+				continue // small variants fit everywhere
+			}
+			plan, idx, err := Construct(d, parts, avail, slo)
+			if err != nil {
+				t.Errorf("%s/%s: no pipeline on fragments: %v", a.Name, v, err)
+				continue
+			}
+			if !plan.Pipelined() {
+				t.Errorf("%s/%s: expected a pipelined plan on fragments", a.Name, v)
+			}
+			if plan.Latency > slo {
+				t.Errorf("%s/%s: pipeline latency %.3f > SLO %.3f", a.Name, v, plan.Latency, slo)
+			}
+			if len(idx) != len(plan.Stages) {
+				t.Errorf("%s/%s: assignment arity mismatch", a.Name, v)
+			}
+		}
+	}
+}
+
+func TestConstructPrefersMonolithicWhenBigSliceFree(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Medium)
+	parts := rankedParts(t, d)
+	slo, _ := a.SLOLatency(dnn.Medium, 1.5)
+	avail := []mig.SliceType{mig.Slice1g, mig.Slice1g, mig.Slice1g, mig.Slice4g}
+	plan, _, err := Construct(d, parts, avail, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Pipelined() {
+		t.Errorf("with a 4g free, construction should be monolithic; got %v", plan)
+	}
+	if plan.Stages[0].SliceType != mig.Slice4g {
+		t.Errorf("monolithic stage on %v, want 4g", plan.Stages[0].SliceType)
+	}
+}
+
+func TestConstructUsesDistinctSlices(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Medium)
+	parts := rankedParts(t, d)
+	avail := []mig.SliceType{mig.Slice1g, mig.Slice1g, mig.Slice1g}
+	_, idx, err := Construct(d, parts, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("slice index %d used twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestConstructNoFit(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Large) // every component needs >= 2g
+	parts := rankedParts(t, d)
+	_, _, err := Construct(d, parts, []mig.SliceType{mig.Slice1g, mig.Slice1g}, 0)
+	if err != ErrNoFit {
+		t.Errorf("err = %v, want ErrNoFit", err)
+	}
+}
+
+// Heavy-workload shape (§7.2): large variants pipeline onto the 2g and
+// 1g fragments of the default partition while ESG can only use the 4g.
+func TestLargeVariantUsesFragments(t *testing.T) {
+	for _, id := range []dnn.AppID{dnn.ImageClassification, dnn.DepthRecognition, dnn.BackgroundElimination} {
+		a := dnn.Get(id)
+		d := a.BuildDAG(dnn.Large)
+		parts := rankedParts(t, d)
+		slo, _ := a.SLOLatency(dnn.Large, 1.5)
+		// Fragments from three GPUs of the default partition (4g in use).
+		avail := []mig.SliceType{mig.Slice2g, mig.Slice1g, mig.Slice2g, mig.Slice1g, mig.Slice2g, mig.Slice1g}
+		plan, _, err := Construct(d, parts, avail, slo)
+		if err != nil {
+			t.Errorf("%s/large cannot use fragments: %v", a.Name, err)
+			continue
+		}
+		if !plan.Pipelined() {
+			t.Errorf("%s/large plan not pipelined", a.Name)
+		}
+		for _, s := range plan.Stages {
+			if s.SliceType > mig.Slice2g {
+				t.Errorf("%s/large stage on %v, fragments only have <=2g", a.Name, s.SliceType)
+			}
+		}
+	}
+}
+
+// App 3 medium is the paper's starkest case: the baseline needs a
+// 4g.40gb slice, FluidFaaS runs it on 2g+2g+1g fragments.
+func TestApp3MediumOnFragments(t *testing.T) {
+	a := dnn.Get(dnn.ExpandedClassification)
+	d := a.BuildDAG(dnn.Medium)
+	parts := rankedParts(t, d)
+	slo, _ := a.SLOLatency(dnn.Medium, 1.5)
+	avail := []mig.SliceType{mig.Slice2g, mig.Slice2g, mig.Slice1g, mig.Slice1g}
+	plan, _, err := Construct(d, parts, avail, slo)
+	if err != nil {
+		t.Fatalf("app3/medium on fragments: %v", err)
+	}
+	if !plan.Pipelined() {
+		t.Error("app3/medium plan not pipelined")
+	}
+	if plan.Latency > slo {
+		t.Errorf("app3/medium latency %.3f > SLO %.3f", plan.Latency, slo)
+	}
+}
+
+// Throughput of a pipeline on fragments must beat the monolithic
+// deployment on the smallest baseline slice per GPC consumed — otherwise
+// fragments would not raise cluster throughput.
+func TestPipelineThroughputGain(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Large)
+	mono, err := Monolithic(d, mig.Slice4g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := rankedParts(t, d)
+	plan, _, err := Construct(d, parts,
+		[]mig.SliceType{mig.Slice2g, mig.Slice2g, mig.Slice1g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Throughput() <= 0.5*mono.Throughput() {
+		t.Errorf("pipeline throughput %.2f too low vs monolithic %.2f",
+			plan.Throughput(), mono.Throughput())
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	a := dnn.Get(dnn.ImageClassification)
+	d := a.BuildDAG(dnn.Small)
+	plan, err := Monolithic(d, mig.Slice1g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan.String(); s == "" || s[0] != '[' {
+		t.Errorf("String = %q", s)
+	}
+}

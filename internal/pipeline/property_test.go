@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/mig"
+)
+
+// randomChain builds a linear DAG from fuzz bytes: each byte pair sets
+// one node's memory (1..15 GB) and base time (10..300 ms on 7g), scaled
+// by (7/g)^0.5 across slices.
+func randomChain(raw []byte) *dag.DAG {
+	n := len(raw)/2 + 1
+	if n > 6 {
+		n = 6
+	}
+	d := dag.New()
+	var prev dag.NodeID = -1
+	for i := 0; i < n; i++ {
+		memB, timeB := byte(3), byte(7)
+		if 2*i < len(raw) {
+			memB = raw[2*i]
+		}
+		if 2*i+1 < len(raw) {
+			timeB = raw[2*i+1]
+		}
+		mem := float64(memB%15) + 1
+		base := (float64(timeB%30)*10 + 10) / 1000
+		exec := map[mig.SliceType]float64{}
+		for _, t := range mig.SliceTypes {
+			if mem > float64(t.MemGB()) {
+				continue
+			}
+			exec[t] = base * math.Sqrt(7/float64(t.GPCs()))
+		}
+		id := d.AddNode(dag.Node{Name: "n", MemGB: mem, OutMB: float64(memB%40) + 1, Exec: exec})
+		if prev >= 0 {
+			d.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return d
+}
+
+// TestConstructInvariantsProperty: on random chains and random free
+// pools, every successful construction satisfies the structural
+// invariants the invoker relies on.
+func TestConstructInvariantsProperty(t *testing.T) {
+	menu := []mig.SliceType{mig.Slice1g, mig.Slice2g, mig.Slice3g, mig.Slice4g, mig.Slice7g}
+	f := func(raw []byte, freeRaw []byte) bool {
+		d := randomChain(raw)
+		parts, err := d.EnumeratePartitions(mig.Slice7g)
+		if err != nil {
+			return false
+		}
+		var free []mig.SliceType
+		for i := 0; i < len(freeRaw)%7; i++ {
+			free = append(free, menu[int(freeRaw[i])%len(menu)])
+		}
+		plan, idx, err := Construct(d, parts, free, 0)
+		if err == ErrNoFit {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		// (1) one distinct slice per stage, types matching.
+		seen := map[int]bool{}
+		for i, ai := range idx {
+			if ai < 0 || ai >= len(free) || seen[ai] {
+				return false
+			}
+			seen[ai] = true
+			if plan.Stages[i].SliceType != free[ai] {
+				return false
+			}
+		}
+		// (2) stages cover every node exactly once, in order.
+		covered := 0
+		nextNode := dag.NodeID(0)
+		for _, sp := range plan.Stages {
+			for _, n := range sp.Stage.Nodes {
+				if n != nextNode {
+					return false
+				}
+				nextNode++
+				covered++
+			}
+		}
+		if covered != d.Len() {
+			return false
+		}
+		// (3) memory fits per stage.
+		for _, sp := range plan.Stages {
+			if sp.MemGB > float64(sp.SliceType.MemGB())+1e-9 {
+				return false
+			}
+		}
+		// (4) latency = sum of stage costs; bottleneck = max exec;
+		// last stage has no transfer.
+		sum, max := 0.0, 0.0
+		for i, sp := range plan.Stages {
+			sum += sp.ExecTime + sp.TransferOut
+			if sp.ExecTime > max {
+				max = sp.ExecTime
+			}
+			if i == len(plan.Stages)-1 && sp.TransferOut != 0 {
+				return false
+			}
+		}
+		return math.Abs(sum-plan.Latency) < 1e-9 && math.Abs(max-plan.Bottleneck) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConstructSLOFilterProperty: with an SLO given, any returned plan
+// respects it.
+func TestConstructSLOFilterProperty(t *testing.T) {
+	f := func(raw []byte, sloRaw uint8) bool {
+		d := randomChain(raw)
+		parts, err := d.EnumeratePartitions(mig.Slice7g)
+		if err != nil {
+			return false
+		}
+		slo := float64(sloRaw%200)/100 + 0.05
+		free := []mig.SliceType{mig.Slice1g, mig.Slice2g, mig.Slice4g, mig.Slice1g}
+		plan, _, err := Construct(d, parts, free, slo)
+		if err != nil {
+			return true // nothing fit within the SLO: fine
+		}
+		return plan.Latency <= slo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

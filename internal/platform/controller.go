@@ -1,0 +1,362 @@
+package platform
+
+import (
+	"math"
+	"sort"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+	"fluidfaas/internal/scheduler"
+)
+
+// route is the FFS load balancer (§5.3): requests go to exclusive-hot
+// instances in ascending latency order until their serving capacity is
+// reached, then to the time-sharing instance, then pend (triggering
+// scale-up).
+func (p *Platform) route(rq *request) {
+	fn := rq.fn
+	for _, inst := range p.routedInstances(fn) {
+		if inst.hasCapacity() {
+			inst.admit(p, rq)
+			return
+		}
+	}
+	if fn.ts != nil && fn.ts.outstanding < fn.ts.capacity {
+		fn.ts.shared.enqueue(p, fn.ts, rq)
+		return
+	}
+	// FluidFaaS: the first request creates a time-sharing instance
+	// (Fig. 8 transition 1).
+	if p.opts.Policy.TimeSharing() && fn.ts == nil {
+		if inv := p.pickInvokerForTS(fn); inv != nil {
+			if b := inv.bindTS(fn); b != nil {
+				b.shared.enqueue(p, b, rq)
+				return
+			}
+		}
+	}
+	fn.pushPending(rq)
+	p.kickScaleUp()
+}
+
+// routedInstances returns the function's exclusive instances in the
+// configured routing order. fn.instances is kept latency-ascending, so
+// the default order is a plain view.
+func (p *Platform) routedInstances(fn *Function) []*Instance {
+	switch p.opts.Routing {
+	case RouteLatencyDesc:
+		out := make([]*Instance, len(fn.instances))
+		for i, inst := range fn.instances {
+			out[len(out)-1-i] = inst
+		}
+		return out
+	case RouteRoundRobin:
+		if len(fn.instances) == 0 {
+			return nil
+		}
+		fn.rrNext = (fn.rrNext + 1) % len(fn.instances)
+		out := make([]*Instance, 0, len(fn.instances))
+		for i := 0; i < len(fn.instances); i++ {
+			out = append(out, fn.instances[(fn.rrNext+i)%len(fn.instances)])
+		}
+		return out
+	default:
+		return fn.instances
+	}
+}
+
+// kickScaleUp coalesces an immediate scale-up pass (cold starts should
+// not wait for the next control period).
+func (p *Platform) kickScaleUp() {
+	if p.scaleKick {
+		return
+	}
+	p.scaleKick = true
+	p.eng.After(0, func() {
+		p.scaleKick = false
+		p.scaleUp()
+	})
+}
+
+// pickInvokerForTS picks the node for a new time-sharing binding: the
+// invoker whose pool already has a fitting slice with the shortest
+// queue, else the node with the most free compute.
+func (p *Platform) pickInvokerForTS(fn *Function) *Invoker {
+	now := p.eng.Now()
+	var best *Invoker
+	bestQ := math.MaxInt32
+	for _, inv := range p.inv {
+		if ss := inv.pickSharedSlice(fn); ss != nil && len(ss.queue) < bestQ {
+			best = inv
+			bestQ = len(ss.queue)
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, inv := range p.inv {
+		if best == nil || inv.node.FreeGPCs(now) > best.node.FreeGPCs(now) {
+			best = inv
+		}
+	}
+	return best
+}
+
+// controlTick is the controller loop: autoscale up, manage keep-alive
+// states, maintain the time-sharing pools, drop hopeless requests.
+func (p *Platform) controlTick() {
+	p.scaleUp()
+	p.manageKeepAlive()
+	for _, inv := range p.inv {
+		inv.maintainPool()
+	}
+	p.dropStalePending()
+}
+
+// scaleUp launches instances for pending demand and hot time-sharing
+// functions, via the policy's placement (ESG's A*, FluidFaaS's
+// CV-ranked construction, INFless's greedy).
+func (p *Platform) scaleUp() {
+	now := p.eng.Now()
+	var reqs []scheduler.Req
+	var reqFns []*Function
+	for _, fn := range p.funcs {
+		if len(fn.instances) >= p.opts.MaxInstancesPerFunc {
+			continue
+		}
+		want := 0
+		if len(fn.pending) > 0 {
+			// An overloaded but not-hot time-sharing function gets more
+			// pool slices, not an exclusive instance (§5.3: "the number
+			// of MIG slices allocated to time sharing state instances
+			// increases if they are overloaded").
+			if p.opts.Policy.TimeSharing() && fn.ts != nil && !fn.ts.tracker.IsHot(now) {
+				if !fn.ts.everLoaded {
+					// The binding is still cold-loading. A trickle of
+					// overflow waits it out (launching now would just
+					// pay a second cold start); only clear demand
+					// (several requests' worth) scales up in parallel.
+					if len(fn.pending) <= 2 {
+						continue
+					}
+				} else {
+					// Overloaded but not hot: grow the pool (§5.3).
+					if fn.ts.shared.inv.rebindToFreshSlice(fn) {
+						p.onTSSlack(fn.ts)
+					}
+					if len(fn.pending) == 0 {
+						continue
+					}
+					// Pool growth was insufficient; fall through to
+					// exclusive scale-up.
+				}
+			}
+			want = int(math.Ceil(float64(len(fn.pending)) / float64(fn.bestCapacity(p.opts.QueueSlack))))
+			if want > 4 {
+				want = 4
+			}
+		} else if p.opts.Policy.TimeSharing() && fn.ts != nil &&
+			len(fn.instances) == 0 && fn.ts.tracker.IsHot(now) {
+			// Fig. 8 transition 2: hot time-sharing function gets an
+			// exclusive instance.
+			want = 1
+			p.logEvent(EvPromote, fn.spec.Name, "time-sharing binding is hot")
+		}
+		for i := 0; i < want; i++ {
+			reqs = append(reqs, scheduler.Req{
+				Func:  fn.spec.ID,
+				DAG:   fn.spec.DAG,
+				Parts: fn.spec.Parts,
+				SLO:   fn.spec.SLO,
+			})
+			reqFns = append(reqFns, fn)
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	views, phys := p.nodeFreeViews()
+	placements := p.opts.Policy.PlaceBatch(reqs, views)
+	if len(placements) < len(reqs) && p.opts.Policy.TimeSharing() {
+		// Some demand went unplaced: reclaim idle pool slices so the
+		// next round has them (the time-sharing pool must shrink when
+		// exclusive demand needs the slices, §5.3).
+		for _, inv := range p.inv {
+			inv.reclaimIdle()
+		}
+	}
+	for _, pl := range placements {
+		fn := reqFns[pl.Req]
+		nodeIdx := pl.Node // views carry real node IDs == invoker index
+		inv := p.inv[nodeIdx]
+		slices := make([]*mig.Slice, len(pl.SliceIdx))
+		ok := true
+		for i, si := range pl.SliceIdx {
+			sl := phys[nodeIdx][si]
+			if !sl.Free() {
+				ok = false // consumed by an earlier placement this tick
+				break
+			}
+			slices[i] = sl
+		}
+		if !ok {
+			continue
+		}
+		load := p.loadTimeFor(fn, inv.node, now)
+		inst := p.launchInstance(fn, inv.node, pl.Plan, slices, load)
+		// Drain pending into the new (still loading) instance.
+		for len(fn.pending) > 0 && inst.hasCapacity() {
+			inst.admit(p, fn.popPending())
+		}
+	}
+}
+
+// bestCapacity estimates how many requests one new instance can absorb.
+func (fn *Function) bestCapacity(slack float64) int {
+	best := math.Inf(1)
+	for _, e := range fn.monoExec {
+		if e < best {
+			best = e
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 1
+	}
+	return admissionCapacity(fn.spec.SLO, best, slack)
+}
+
+// manageKeepAlive applies the per-policy keep-alive rules: FluidFaaS
+// demotes cool exclusive instances to time sharing (Fig. 8 transition
+// 3); the baselines hold slices exclusively until the keep-alive
+// timeout expires (the policy §4 criticises).
+func (p *Platform) manageKeepAlive() {
+	now := p.eng.Now()
+	for _, fn := range p.funcs {
+		insts := append([]*Instance(nil), fn.instances...)
+		for _, inst := range insts {
+			if inst.retiring || inst.outstanding > 0 {
+				continue
+			}
+			if p.opts.Policy.TimeSharing() {
+				if inst.tracker.IdleFor(now) >= p.opts.IdleDemote &&
+					!inst.tracker.IsHot(now) {
+					p.demote(inst)
+				}
+			} else {
+				if inst.tracker.IdleFor(now) >= p.opts.KeepAlive {
+					p.releaseInstance(inst)
+				}
+			}
+		}
+	}
+}
+
+// demote turns a cool exclusive instance into time-sharing state. A
+// monolithic instance's slice is adopted into the pool with the model
+// still resident (zero-cost demotion); a pipelined instance's slices
+// are released and the function keeps a warm binding.
+func (p *Platform) demote(inst *Instance) {
+	fn := inst.fn
+	inv := p.invokerOf(inst.node)
+	p.logEvent(EvDemote, inst.id, "idle below hotness threshold")
+	if fn.ts == nil && !inst.Pipelined() {
+		fn.removeInstance(inst)
+		inv.adoptShared(inst.slices[0], fn)
+		return
+	}
+	p.releaseInstance(inst)
+	if fn.ts == nil {
+		if b := inv.bindTS(fn); b != nil {
+			// The model was just on a GPU; its host copy is warm.
+			b.everLoaded = true
+		}
+	}
+}
+
+// maintainPool ages out idle bindings (warm -> cold after the ten-minute
+// timeout, Fig. 8 transition 5) and releases empty pool slices.
+func (inv *Invoker) maintainPool() {
+	p := inv.p
+	now := p.eng.Now()
+	shared := append([]*sharedSlice(nil), inv.shared...)
+	for _, ss := range shared {
+		names := make([]string, 0, len(ss.bindings))
+		for name := range ss.bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := ss.bindings[name]
+			if b.outstanding > 0 {
+				continue
+			}
+			if b.tracker.IdleFor(now) >= p.opts.KeepAlive {
+				if b.state.State() == keepalive.TimeSharing {
+					if err := b.state.To(keepalive.Warm); err != nil {
+						panic(err)
+					}
+				}
+				if err := b.state.To(keepalive.Cold); err != nil {
+					panic(err)
+				}
+				p.logEvent(EvCold, b.fn.spec.Name, "idle past the keep-alive window")
+				inv.unbind(b)
+			}
+		}
+		if len(ss.bindings) == 0 && !ss.busy && len(ss.queue) == 0 {
+			// unbind may already have released it; check membership.
+			for _, cur := range inv.shared {
+				if cur == ss {
+					inv.releaseShared(ss)
+					break
+				}
+			}
+		}
+	}
+}
+
+// dropStalePending abandons requests whose wait exceeds PendingDrop
+// SLOs; they are recorded as drops (SLO misses).
+func (p *Platform) dropStalePending() {
+	now := p.eng.Now()
+	for _, fn := range p.funcs {
+		keep := fn.pending[:0]
+		for _, rq := range fn.pending {
+			if fn.spec.SLO > 0 && now-rq.arrival > p.opts.PendingDrop*fn.spec.SLO {
+				rq.rec.Dropped = true
+				p.logEvent(EvDrop, fn.spec.Name, "pending past the client timeout")
+				p.record(rq.rec)
+				continue
+			}
+			keep = append(keep, rq)
+		}
+		fn.pending = keep
+	}
+}
+
+// invokerOf maps a node to its invoker.
+func (p *Platform) invokerOf(node *cluster.Node) *Invoker {
+	return p.inv[node.ID]
+}
+
+// nodeOf maps a slice back to its node.
+func (p *Platform) nodeOf(sl *mig.Slice) *cluster.Node {
+	return p.cl.Nodes[sl.GPU.Node]
+}
+
+// loadTimeFor models instance startup cost: a warm load when the
+// function ran on the node within the keep-alive window (image and
+// weights cached in host memory), a full cold start otherwise.
+func (p *Platform) loadTimeFor(fn *Function, node *cluster.Node, now float64) float64 {
+	if last, ok := fn.lastNodeUse[node.ID]; ok && now-last < p.opts.KeepAlive {
+		return keepalive.WarmLoadTime(fn.memGB)
+	}
+	return keepalive.ColdStartTime(fn.memGB)
+}
+
+// monoPlan builds the monolithic plan of fn on a slice type.
+func monoPlan(fn *Function, t mig.SliceType) (pipeline.Plan, error) {
+	return pipeline.Monolithic(fn.spec.DAG, t)
+}

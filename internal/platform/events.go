@@ -1,0 +1,126 @@
+package platform
+
+import "fmt"
+
+// EventKind classifies platform lifecycle events.
+type EventKind int
+
+// Lifecycle events the platform records.
+const (
+	// EvLaunch: an exclusive instance launched.
+	EvLaunch EventKind = iota
+	// EvRelease: an exclusive instance released its slices.
+	EvRelease
+	// EvDemote: an exclusive instance demoted to time sharing (Fig. 8
+	// transition 3).
+	EvDemote
+	// EvPromote: a hot time-sharing function received an exclusive
+	// instance (Fig. 8 transition 2).
+	EvPromote
+	// EvEvict: a time-sharing resident was evicted to host memory
+	// (Fig. 8 transition 4).
+	EvEvict
+	// EvCold: a warm binding aged out (Fig. 8 transition 5).
+	EvCold
+	// EvMigrate: a pipeline instance migrated to a monolithic one.
+	EvMigrate
+	// EvDrop: a pending request was abandoned.
+	EvDrop
+	// EvPoolGrow: the time-sharing pool acquired a slice.
+	EvPoolGrow
+	// EvPoolShrink: the time-sharing pool released a slice.
+	EvPoolShrink
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvLaunch:
+		return "launch"
+	case EvRelease:
+		return "release"
+	case EvDemote:
+		return "demote"
+	case EvPromote:
+		return "promote"
+	case EvEvict:
+		return "evict"
+	case EvCold:
+		return "cold"
+	case EvMigrate:
+		return "migrate"
+	case EvDrop:
+		return "drop"
+	case EvPoolGrow:
+		return "pool-grow"
+	case EvPoolShrink:
+		return "pool-shrink"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one recorded platform lifecycle event.
+type Event struct {
+	Time    float64
+	Kind    EventKind
+	Subject string // instance ID, function name, or slice ID
+	Detail  string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%8.2fs %-11s %-30s %s", e.Time, e.Kind, e.Subject, e.Detail)
+}
+
+// eventLog is a bounded ring of recent events.
+type eventLog struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+const eventLogCap = 4096
+
+func (l *eventLog) add(e Event) {
+	if cap(l.buf) == 0 {
+		l.buf = make([]Event, 0, eventLogCap)
+	}
+	if len(l.buf) < eventLogCap {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+	}
+	l.next = (l.next + 1) % eventLogCap
+	l.total++
+}
+
+// snapshot returns events oldest-first.
+func (l *eventLog) snapshot() []Event {
+	if len(l.buf) < eventLogCap {
+		out := make([]Event, len(l.buf))
+		copy(out, l.buf)
+		return out
+	}
+	out := make([]Event, 0, eventLogCap)
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// logEvent records a lifecycle event.
+func (p *Platform) logEvent(kind EventKind, subject, detail string) {
+	p.events.add(Event{Time: p.eng.Now(), Kind: kind, Subject: subject, Detail: detail})
+}
+
+// Events returns the retained lifecycle events, oldest first (the log
+// keeps the most recent 4096).
+func (p *Platform) Events() []Event { return p.events.snapshot() }
+
+// CountEvents tallies retained events by kind.
+func (p *Platform) CountEvents() map[EventKind]int {
+	out := map[EventKind]int{}
+	for _, e := range p.events.snapshot() {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package platform
+
+import (
+	"sort"
+
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+)
+
+// Function is the platform-side state of one registered function.
+type Function struct {
+	spec FunctionSpec
+
+	// instances are the exclusive-hot deployments (monolithic or
+	// pipelined), kept sorted by unloaded latency for the
+	// heterogeneity-aware routing of §5.3.
+	instances []*Instance
+	// ts is the function's single time-sharing binding (§5.3: "each
+	// serverless function is restricted to a maximum of one instance in
+	// the time sharing state"); nil when cold.
+	ts *tsBinding
+	// pending holds requests no instance could admit, EDF-ordered.
+	pending []*request
+
+	// monoExec caches the monolithic service latency per slice type;
+	// missing entries mean the function cannot run monolithically there.
+	monoExec map[mig.SliceType]float64
+	// memGB is the monolithic footprint (for loads and shared slices).
+	memGB float64
+
+	// lastNodeUse tracks when the function last ran on each node, to
+	// decide warm vs cold instance loads.
+	lastNodeUse map[int]float64
+
+	rrNext int // round-robin cursor for the routing ablation
+}
+
+func newFunction(spec FunctionSpec) *Function {
+	fn := &Function{
+		spec:        spec,
+		monoExec:    make(map[mig.SliceType]float64),
+		memGB:       spec.DAG.TotalMemGB(),
+		lastNodeUse: make(map[int]float64),
+	}
+	for _, t := range mig.SliceTypes {
+		if plan, err := pipeline.Monolithic(spec.DAG, t); err == nil {
+			fn.monoExec[t] = plan.Latency
+		}
+	}
+	return fn
+}
+
+// sortInstances keeps the routing order: lowest unloaded latency first,
+// then instance ID for determinism.
+func (fn *Function) sortInstances() {
+	sort.SliceStable(fn.instances, func(i, j int) bool {
+		if fn.instances[i].plan.Latency != fn.instances[j].plan.Latency {
+			return fn.instances[i].plan.Latency < fn.instances[j].plan.Latency
+		}
+		return fn.instances[i].id < fn.instances[j].id
+	})
+}
+
+// removeInstance unlinks inst from the function.
+func (fn *Function) removeInstance(inst *Instance) {
+	for i, x := range fn.instances {
+		if x == inst {
+			fn.instances = append(fn.instances[:i], fn.instances[i+1:]...)
+			return
+		}
+	}
+}
+
+// pushPending enqueues a request EDF-ordered (ascending deadline; the
+// paper routes by deadline minus estimated execution and load, which for
+// a single function's uniform SLO reduces to arrival order).
+func (fn *Function) pushPending(rq *request) {
+	fn.pending = append(fn.pending, rq)
+	sort.SliceStable(fn.pending, func(i, j int) bool {
+		return fn.pending[i].deadline < fn.pending[j].deadline
+	})
+}
+
+// popPending removes and returns the most urgent pending request.
+func (fn *Function) popPending() *request {
+	if len(fn.pending) == 0 {
+		return nil
+	}
+	rq := fn.pending[0]
+	fn.pending = fn.pending[1:]
+	return rq
+}

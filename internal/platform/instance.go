@@ -1,0 +1,249 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+	"fluidfaas/internal/sim"
+)
+
+// Instance is one exclusive-hot deployment of a function: a monolithic
+// instance on one slice or a pipeline across several. Time-sharing
+// deployments are tsBindings (invoker.go).
+type Instance struct {
+	id   string
+	fn   *Function
+	node *cluster.Node
+	plan pipeline.Plan
+
+	slices   []*mig.Slice
+	stations []*sim.Station
+	// bstations replaces stations when dynamic batching is enabled.
+	bstations []*sim.BatchStation
+
+	outstanding int
+	capacity    int
+
+	tracker  *keepalive.Tracker
+	retiring bool
+	// loadEndsAt is when the initial model load finishes; stations stay
+	// paused until then.
+	loadEndsAt float64
+	// migrating marks a pipeline instance being replaced by a
+	// monolithic one (§5.3 pipeline migration).
+	migrating bool
+}
+
+// Pipelined reports whether the instance spans multiple slices.
+func (inst *Instance) Pipelined() bool { return inst.plan.Pipelined() }
+
+// launchInstance allocates the plan's slices and starts the stage
+// stations, paused for the load time. Slices are the physical slices
+// matched to plan stages.
+func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipeline.Plan, slices []*mig.Slice, loadTime float64) *Instance {
+	now := p.eng.Now()
+	p.instSeq++
+	inst := &Instance{
+		id:      fmt.Sprintf("%s#%d", fn.spec.Name, p.instSeq),
+		fn:      fn,
+		node:    node,
+		plan:    plan,
+		slices:  slices,
+		tracker: keepalive.NewTracker(),
+	}
+	bottleneck := plan.Bottleneck
+	if p.opts.MaxBatch > 1 {
+		// With batching, the effective per-request service time at full
+		// batch is exec·n^gamma / n.
+		bottleneck *= math.Pow(float64(p.opts.MaxBatch), p.opts.BatchGamma-1)
+	}
+	inst.capacity = admissionCapacity(fn.spec.SLO, bottleneck, p.opts.QueueSlack)
+	inst.loadEndsAt = now + loadTime
+	for si, sp := range plan.Stages {
+		sl := slices[si]
+		if sl.Type != sp.SliceType {
+			panic(fmt.Sprintf("platform: slice %s type %v != stage type %v",
+				sl.ID(), sl.Type, sp.SliceType))
+		}
+		sl.Allocate(inst.id, now)
+		if p.opts.MaxBatch > 1 {
+			exec := sp.ExecTime
+			slice := sl
+			bs := sim.NewBatchStation(p.eng, inst.id+"/"+sl.ID(),
+				p.opts.MaxBatch, p.opts.BatchWindow,
+				func(n int) sim.Time {
+					return exec * math.Pow(float64(n), p.opts.BatchGamma)
+				})
+			bs.OnStart = func(int) {
+				slice.SetActive(true, p.eng.Now())
+				inst.tracker.Begin(p.eng.Now())
+			}
+			bs.OnEnd = func(int) {
+				slice.SetActive(false, p.eng.Now())
+				inst.tracker.End(p.eng.Now())
+			}
+			bs.Pause()
+			inst.bstations = append(inst.bstations, bs)
+			continue
+		}
+		st := sim.NewStation(p.eng, inst.id+"/"+sl.ID())
+		st.Pause()
+		inst.stations = append(inst.stations, st)
+	}
+	resume := func() {
+		for _, st := range inst.stations {
+			st.Resume()
+		}
+		for _, bs := range inst.bstations {
+			bs.Resume()
+		}
+	}
+	if loadTime > 0 {
+		p.eng.After(loadTime, resume)
+	} else {
+		resume()
+	}
+	inst.tracker.Touch(now)
+	fn.instances = append(fn.instances, inst)
+	fn.sortInstances()
+	fn.lastNodeUse[node.ID] = now
+	p.launched++
+	p.logEvent(EvLaunch, inst.id, plan.String())
+	return inst
+}
+
+// admissionCapacity bounds outstanding requests so queued work can still
+// meet the SLO: the paper routes "until its serving capacity is
+// reached".
+func admissionCapacity(slo, bottleneck, slack float64) int {
+	if bottleneck <= 0 {
+		return 1
+	}
+	c := int(slack * slo / bottleneck)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// admit runs a request through the instance's stage stations.
+func (inst *Instance) admit(p *Platform, rq *request) {
+	inst.outstanding++
+	inst.tracker.Touch(p.eng.Now())
+	inst.enqueueStage(p, rq, 0)
+}
+
+func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
+	if len(inst.bstations) > 0 {
+		inst.enqueueStageBatched(p, rq, si)
+		return
+	}
+	st := inst.stations[si]
+	sl := inst.slices[si]
+	sp := inst.plan.Stages[si]
+	enqueueAt := p.eng.Now()
+	st.Enqueue(&sim.Job{
+		Service: func() sim.Time {
+			now := p.eng.Now()
+			wait := now - enqueueAt
+			// Attribute the portion of the wait spent in the initial
+			// model load to Load (Fig. 14); the remaining wait becomes
+			// Queue as the residual at completion.
+			load := inst.loadEndsAt - enqueueAt
+			if load < 0 {
+				load = 0
+			}
+			if load > wait {
+				load = wait
+			}
+			rq.rec.Load += load
+			rq.rec.Exec += sp.ExecTime
+			sl.SetActive(true, now)
+			inst.tracker.Begin(now)
+			return sp.ExecTime
+		},
+		Done: func() {
+			now := p.eng.Now()
+			sl.SetActive(false, now)
+			inst.tracker.End(now)
+			if si+1 < len(inst.stations) {
+				rq.rec.Transfer += sp.TransferOut
+				p.eng.After(sp.TransferOut, func() {
+					inst.enqueueStage(p, rq, si+1)
+				})
+				return
+			}
+			inst.outstanding--
+			p.complete(rq)
+			p.onInstanceSlack(inst)
+		},
+	})
+}
+
+// enqueueStageBatched runs the batched stage path: requests coalesce at
+// the stage's BatchStation and each is charged the full batch duration
+// (the slice was busy that long on its behalf; waiting to form the
+// batch lands in Queue via the completion residual).
+func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
+	bs := inst.bstations[si]
+	sp := inst.plan.Stages[si]
+	bs.Enqueue(func(n int) {
+		rq.rec.Exec += sp.ExecTime * math.Pow(float64(n), p.opts.BatchGamma)
+		if si+1 < len(inst.bstations) {
+			rq.rec.Transfer += sp.TransferOut
+			p.eng.After(sp.TransferOut, func() {
+				inst.enqueueStageBatched(p, rq, si+1)
+			})
+			return
+		}
+		inst.outstanding--
+		inst.tracker.Touch(p.eng.Now())
+		p.complete(rq)
+		p.onInstanceSlack(inst)
+	})
+}
+
+// hasCapacity reports whether the instance can admit another request.
+func (inst *Instance) hasCapacity() bool {
+	return !inst.retiring && inst.outstanding < inst.capacity
+}
+
+// release frees the instance's slices and unlinks it. Only call when no
+// requests are outstanding.
+func (p *Platform) releaseInstance(inst *Instance) {
+	if inst.outstanding > 0 {
+		panic("platform: releasing instance with outstanding requests")
+	}
+	now := p.eng.Now()
+	var freed []*mig.Slice
+	for _, sl := range inst.slices {
+		sl.Release(now)
+		freed = append(freed, sl)
+	}
+	inst.fn.removeInstance(inst)
+	inst.fn.lastNodeUse[inst.node.ID] = now
+	p.logEvent(EvRelease, inst.id, "")
+	// Freed large slices may enable pipeline migration (§5.3).
+	if p.opts.Policy.Migration() {
+		for _, sl := range freed {
+			p.tryMigration(sl)
+		}
+	}
+}
+
+// onInstanceSlack runs after a completion frees capacity: drain pending
+// requests, and finish retirement when a draining instance empties.
+func (p *Platform) onInstanceSlack(inst *Instance) {
+	fn := inst.fn
+	for len(fn.pending) > 0 && inst.hasCapacity() {
+		rq := fn.popPending()
+		inst.admit(p, rq)
+	}
+	if inst.retiring && inst.outstanding == 0 {
+		p.releaseInstance(inst)
+	}
+}

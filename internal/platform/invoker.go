@@ -1,0 +1,493 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/mig"
+)
+
+// Invoker is the per-node runtime: it owns the node's time-sharing slice
+// pool and performs eviction, pool resizing, and pipeline migration.
+type Invoker struct {
+	p      *Platform
+	node   *cluster.Node
+	shared []*sharedSlice
+}
+
+func newInvoker(p *Platform, node *cluster.Node) *Invoker {
+	return &Invoker{p: p, node: node}
+}
+
+// tsBinding is a function's time-sharing deployment: the function is
+// bound to one shared slice; its model is either resident on the slice
+// or evicted to host memory (warm).
+type tsBinding struct {
+	fn       *Function
+	shared   *sharedSlice
+	resident bool
+	// everLoaded distinguishes the first load (cold start from remote
+	// storage) from warm reloads out of host memory.
+	everLoaded  bool
+	tracker     *keepalive.Tracker
+	state       *keepalive.Machine
+	outstanding int
+	capacity    int
+	hostMemGB   float64 // host memory reserved for the warm copy
+}
+
+// tsJob is one queued time-sharing request.
+type tsJob struct {
+	rq *request
+	b  *tsBinding
+	// priority = deadline - estimated execution - estimated load (§5.3).
+	priority   float64
+	enqueuedAt float64
+}
+
+// sharedSlice is one MIG slice in the invoker's time-sharing pool.
+// Only one instance accesses it at a time, preserving the MIG isolation
+// principle (§4).
+type sharedSlice struct {
+	inv      *Invoker
+	slice    *mig.Slice
+	resident *tsBinding
+	lru      *keepalive.LRU
+	bindings map[string]*tsBinding // keyed by function name
+	queue    []*tsJob
+	busy     bool
+}
+
+// sharedOwner is the slice-owner tag of pool slices.
+func (inv *Invoker) sharedOwner() string {
+	return fmt.Sprintf("ts-pool@node%d", inv.node.ID)
+}
+
+// execOn returns the binding's monolithic service time on its shared
+// slice.
+func (b *tsBinding) execOn() float64 {
+	return b.fn.monoExec[b.shared.slice.Type]
+}
+
+// estLoad estimates the load the next request would pay.
+func (b *tsBinding) estLoad() float64 {
+	if b.resident {
+		return 0
+	}
+	if b.everLoaded {
+		return keepalive.WarmLoadTime(b.fn.memGB)
+	}
+	return keepalive.ColdStartTime(b.fn.memGB)
+}
+
+// bindTS gives fn a time-sharing binding on this node, growing the pool
+// if needed. Returns nil when no slice in the pool or free list can host
+// the function monolithically.
+func (inv *Invoker) bindTS(fn *Function) *tsBinding {
+	if fn.ts != nil {
+		return fn.ts
+	}
+	ss := inv.pickSharedSlice(fn)
+	if ss == nil {
+		ss = inv.growPool(fn)
+	}
+	if ss == nil {
+		return nil
+	}
+	b := &tsBinding{
+		fn:      fn,
+		shared:  ss,
+		tracker: keepalive.NewTracker(),
+		state:   keepalive.NewMachine(),
+	}
+	// Fig. 8 transition 1: first request creates a time-sharing
+	// instance.
+	if err := b.state.To(keepalive.TimeSharing); err != nil {
+		panic(err)
+	}
+	b.capacity = admissionCapacity(fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
+	// Keep a host-memory copy for warm reloads.
+	if inv.node.ReserveWarm(fn.memGB) {
+		b.hostMemGB = fn.memGB
+	}
+	b.tracker.Touch(inv.p.eng.Now())
+	ss.bindings[fn.spec.Name] = b
+	ss.lru.Touch(fn.spec.Name)
+	fn.ts = b
+	return b
+}
+
+// adoptShared converts an already-allocated slice (from a demoted
+// monolithic instance) into a pool slice with fn resident — the
+// cheapest demotion: no data movement at all.
+func (inv *Invoker) adoptShared(sl *mig.Slice, fn *Function) *tsBinding {
+	now := inv.p.eng.Now()
+	sl.Release(now)
+	sl.Allocate(inv.sharedOwner(), now)
+	ss := &sharedSlice{
+		inv:      inv,
+		slice:    sl,
+		lru:      keepalive.NewLRU(),
+		bindings: make(map[string]*tsBinding),
+	}
+	inv.shared = append(inv.shared, ss)
+	b := &tsBinding{
+		fn:         fn,
+		shared:     ss,
+		resident:   true,
+		everLoaded: true,
+		tracker:    keepalive.NewTracker(),
+		state:      keepalive.NewMachine(),
+	}
+	if err := b.state.To(keepalive.TimeSharing); err != nil {
+		panic(err)
+	}
+	b.capacity = admissionCapacity(fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
+	if inv.node.ReserveWarm(fn.memGB) {
+		b.hostMemGB = fn.memGB
+	}
+	b.tracker.Touch(now)
+	ss.bindings[fn.spec.Name] = b
+	ss.lru.Touch(fn.spec.Name)
+	ss.resident = b
+	fn.ts = b
+	return b
+}
+
+// pickSharedSlice returns the pool slice with the shortest queue that
+// can host fn monolithically.
+func (inv *Invoker) pickSharedSlice(fn *Function) *sharedSlice {
+	var best *sharedSlice
+	for _, ss := range inv.shared {
+		if _, ok := fn.monoExec[ss.slice.Type]; !ok {
+			continue
+		}
+		if best == nil || len(ss.queue) < len(best.queue) {
+			best = ss
+		}
+	}
+	return best
+}
+
+// growPool allocates the smallest free slice that can host fn and adds
+// it to the pool.
+func (inv *Invoker) growPool(fn *Function) *sharedSlice {
+	now := inv.p.eng.Now()
+	free := inv.node.FreeSlices(now)
+	var pick *mig.Slice
+	for _, sl := range free {
+		if _, ok := fn.monoExec[sl.Type]; !ok {
+			continue
+		}
+		if pick == nil || sl.Type < pick.Type {
+			pick = sl
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	pick.Allocate(inv.sharedOwner(), now)
+	ss := &sharedSlice{
+		inv:      inv,
+		slice:    pick,
+		lru:      keepalive.NewLRU(),
+		bindings: make(map[string]*tsBinding),
+	}
+	inv.shared = append(inv.shared, ss)
+	inv.p.logEvent(EvPoolGrow, pick.ID(), "")
+	return ss
+}
+
+// rebindToFreshSlice grows the pool and moves fn's binding onto the new
+// slice, relieving a congested shared slice. Requests already queued on
+// the old slice drain there; new requests go to the fresh one. Reports
+// false when no free slice can host the function.
+func (inv *Invoker) rebindToFreshSlice(fn *Function) bool {
+	b := fn.ts
+	if b == nil || b.shared.inv != inv {
+		return false
+	}
+	ns := inv.growPool(fn)
+	if ns == nil {
+		return false
+	}
+	old := b.shared
+	delete(old.bindings, fn.spec.Name)
+	old.lru.Remove(fn.spec.Name)
+	if old.resident == b {
+		old.resident = nil
+		b.resident = false
+	}
+	b.shared = ns
+	b.capacity = admissionCapacity(fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
+	ns.bindings[fn.spec.Name] = b
+	ns.lru.Touch(fn.spec.Name)
+	return true
+}
+
+// reclaimIdle releases completely idle pool slices so exclusive
+// scale-up can use them: bindings are moved to sibling pool slices when
+// one fits, otherwise aged straight to cold. Returns how many slices
+// were freed. Called when placement fails for lack of free slices —
+// idle shared capacity should never block a hot function (§5.3's
+// auto-scale-down of the time-sharing pool).
+func (inv *Invoker) reclaimIdle() int {
+	freed := 0
+	now := inv.p.eng.Now()
+	shared := append([]*sharedSlice(nil), inv.shared...)
+	for _, ss := range shared {
+		if ss.busy || len(ss.queue) > 0 {
+			continue
+		}
+		idle := true
+		for _, b := range ss.bindings {
+			// Recently used bindings stay: dropping them would trade a
+			// guaranteed cold start for a speculative placement.
+			if b.outstanding > 0 || b.tracker.IdleFor(now) < 5 {
+				idle = false
+				break
+			}
+		}
+		if !idle {
+			continue
+		}
+		names := make([]string, 0, len(ss.bindings))
+		for name := range ss.bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := ss.bindings[name]
+			if dst := inv.siblingSlice(ss, b); dst != nil {
+				delete(ss.bindings, name)
+				ss.lru.Remove(name)
+				if ss.resident == b {
+					ss.resident = nil
+				}
+				b.resident = false
+				b.shared = dst
+				b.capacity = admissionCapacity(b.fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
+				dst.bindings[name] = b
+				dst.lru.Touch(name)
+				continue
+			}
+			// No sibling fits: the binding goes cold.
+			if b.state.State() == keepalive.TimeSharing {
+				if err := b.state.To(keepalive.Warm); err != nil {
+					panic(err)
+				}
+			}
+			if err := b.state.To(keepalive.Cold); err != nil {
+				panic(err)
+			}
+			inv.unbind(b)
+		}
+		// unbind may have released the slice already.
+		for _, cur := range inv.shared {
+			if cur == ss {
+				inv.releaseShared(ss)
+				break
+			}
+		}
+		freed++
+	}
+	return freed
+}
+
+// siblingSlice finds another pool slice that can host b's function.
+func (inv *Invoker) siblingSlice(not *sharedSlice, b *tsBinding) *sharedSlice {
+	for _, ss := range inv.shared {
+		if ss == not {
+			continue
+		}
+		if _, ok := b.fn.monoExec[ss.slice.Type]; ok {
+			return ss
+		}
+	}
+	return nil
+}
+
+// enqueue admits a request to the binding's shared slice, ordered by
+// deadline minus estimated execution and load times (§5.3).
+func (ss *sharedSlice) enqueue(p *Platform, b *tsBinding, rq *request) {
+	b.outstanding++
+	b.tracker.Touch(p.eng.Now())
+	job := &tsJob{
+		rq:         rq,
+		b:          b,
+		priority:   rq.deadline - b.execOn() - b.estLoad(),
+		enqueuedAt: p.eng.Now(),
+	}
+	ss.queue = append(ss.queue, job)
+	sort.SliceStable(ss.queue, func(i, j int) bool {
+		return ss.queue[i].priority < ss.queue[j].priority
+	})
+	ss.kick(p)
+}
+
+// kick starts serving if the slice is idle.
+func (ss *sharedSlice) kick(p *Platform) {
+	if ss.busy || len(ss.queue) == 0 {
+		return
+	}
+	job := ss.queue[0]
+	ss.queue = ss.queue[1:]
+	ss.busy = true
+	b := job.b
+	now := p.eng.Now()
+
+	load := 0.0
+	if ss.resident != b {
+		// Evict the LRU resident and load the pertinent instance
+		// (§5.3). Loading happens as part of this request's service.
+		if ss.resident != nil {
+			ss.evictResident(p)
+		}
+		load = b.estLoad()
+		ss.resident = b
+		b.resident = true
+		if b.state.State() == keepalive.Warm {
+			if err := b.state.To(keepalive.TimeSharing); err != nil {
+				panic(err)
+			}
+		}
+	}
+	exec := b.execOn()
+	job.rq.rec.Load += load
+	job.rq.rec.Exec += exec
+	ss.lru.Touch(b.fn.spec.Name)
+	ss.slice.SetActive(true, now)
+	p.eng.After(load+exec, func() {
+		end := p.eng.Now()
+		ss.slice.SetActive(false, end)
+		// The model is fully fetched only now; the host copy makes
+		// later loads warm (for this binding and for exclusive
+		// launches on this node).
+		b.everLoaded = true
+		b.fn.lastNodeUse[ss.inv.node.ID] = end
+		// Hotness counts execution only: a cold-start load must not make
+		// a rarely-used function look hot.
+		b.tracker.Begin(end - exec)
+		b.tracker.End(end)
+		b.outstanding--
+		ss.busy = false
+		p.complete(job.rq)
+		ss.kick(p)
+		p.onTSSlack(b)
+	})
+}
+
+// evictResident moves the current resident out of MIG memory to the
+// warm state (Fig. 8 transition 4).
+func (ss *sharedSlice) evictResident(p *Platform) {
+	old := ss.resident
+	if old == nil {
+		return
+	}
+	old.resident = false
+	if old.state.State() == keepalive.TimeSharing {
+		if err := old.state.To(keepalive.Warm); err != nil {
+			panic(err)
+		}
+	}
+	ss.resident = nil
+	p.evicted++
+	p.logEvent(EvEvict, old.fn.spec.Name, "LRU eviction from "+ss.slice.ID())
+}
+
+// unbind removes a binding entirely (warm -> cold, Fig. 8 transition 5,
+// or promotion cleanup).
+func (inv *Invoker) unbind(b *tsBinding) {
+	ss := b.shared
+	delete(ss.bindings, b.fn.spec.Name)
+	ss.lru.Remove(b.fn.spec.Name)
+	if ss.resident == b {
+		ss.resident = nil
+	}
+	if b.hostMemGB > 0 {
+		inv.node.ReleaseWarm(b.hostMemGB)
+	}
+	b.fn.ts = nil
+	// Release empty pool slices so exclusive instances can use them.
+	if len(ss.bindings) == 0 && !ss.busy && len(ss.queue) == 0 {
+		inv.releaseShared(ss)
+	}
+}
+
+// releaseShared returns a pool slice to the free pool.
+func (inv *Invoker) releaseShared(ss *sharedSlice) {
+	now := inv.p.eng.Now()
+	for i, x := range inv.shared {
+		if x == ss {
+			inv.shared = append(inv.shared[:i], inv.shared[i+1:]...)
+			break
+		}
+	}
+	ss.slice.Release(now)
+	inv.p.logEvent(EvPoolShrink, ss.slice.ID(), "")
+	if inv.p.opts.Policy.Migration() {
+		inv.p.tryMigration(ss.slice)
+	}
+}
+
+// onTSSlack drains pending requests into the binding after a completion.
+func (p *Platform) onTSSlack(b *tsBinding) {
+	fn := b.fn
+	for len(fn.pending) > 0 && b.outstanding < b.capacity && fn.ts == b {
+		rq := fn.popPending()
+		b.shared.enqueue(p, b, rq)
+	}
+}
+
+// tryMigration implements pipeline migration (§5.3): when a large slice
+// frees up, replace the worst pipelined instance that fits it with a
+// monolithic instance on the freed slice.
+func (p *Platform) tryMigration(freed *mig.Slice) {
+	if !freed.Free() {
+		return
+	}
+	now := p.eng.Now()
+	var bestFn *Function
+	var bestInst *Instance
+	for _, fn := range p.funcs {
+		exec, ok := fn.monoExec[freed.Type]
+		if !ok || fn.memGB > float64(freed.Type.MemGB()) {
+			continue
+		}
+		if fn.spec.SLO > 0 && exec > fn.spec.SLO {
+			continue
+		}
+		if fn.spec.DAG.MonoMinGPCs > freed.Type.GPCs() {
+			continue
+		}
+		for _, inst := range fn.instances {
+			if !inst.Pipelined() || inst.retiring || inst.migrating {
+				continue
+			}
+			// Prefer migrating the highest-latency pipeline.
+			if bestInst == nil || inst.plan.Latency > bestInst.plan.Latency {
+				bestFn, bestInst = fn, inst
+			}
+		}
+	}
+	if bestInst == nil {
+		return
+	}
+	plan, err := monoPlan(bestFn, freed.Type)
+	if err != nil {
+		return
+	}
+	node := p.nodeOf(freed)
+	load := p.loadTimeFor(bestFn, node, now)
+	newInst := p.launchInstance(bestFn, node, plan, []*mig.Slice{freed}, load)
+	_ = newInst
+	bestInst.migrating = true
+	bestInst.retiring = true
+	p.migrated++
+	p.logEvent(EvMigrate, bestInst.id, "replaced by monolithic on "+freed.ID())
+	if bestInst.outstanding == 0 {
+		p.releaseInstance(bestInst)
+	}
+}

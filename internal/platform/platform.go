@@ -1,0 +1,335 @@
+// Package platform is the serverless platform: controller (autoscaling),
+// FFS load balancer (heterogeneity-aware routing, §5.3), and per-node
+// invokers (pipeline construction, slice allocation, hotness-aware
+// eviction-based time sharing, pipeline migration). It executes
+// functions as tandem queueing stations on a deterministic discrete-
+// event engine, so whole-cluster runs over production-scale traces take
+// milliseconds and are exactly reproducible.
+package platform
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/metrics"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/scheduler"
+	"fluidfaas/internal/sim"
+	"fluidfaas/internal/trace"
+)
+
+// FunctionSpec registers one serverless function with the platform.
+type FunctionSpec struct {
+	// ID is the function index trace requests carry.
+	ID int
+	// Name for reporting.
+	Name string
+	// DAG is the FFS DAG with profiles (BUILDDAG-mode output).
+	DAG *dag.DAG
+	// Parts is the CV-ranked partition list (computed offline, §5.2.2).
+	Parts []dag.Partition
+	// SLO is the function's latency budget in seconds.
+	SLO float64
+}
+
+// Options configure a platform run.
+type Options struct {
+	// Policy decides instance placement and platform features.
+	Policy scheduler.Policy
+	// Seed feeds the platform's RNG streams.
+	Seed int64
+	// ControlPeriod is the autoscaler cadence (default 1 s).
+	ControlPeriod float64
+	// SamplePeriod is the utilisation sampling cadence (default 1 s).
+	SamplePeriod float64
+	// IdleDemote is how long an exclusive instance must sit below the
+	// hotness threshold before demotion/retirement (default 20 s).
+	IdleDemote float64
+	// KeepAlive is the exclusive keep-alive timeout of the baselines
+	// and the warm->cold timeout of FluidFaaS (default 600 s, §5.3).
+	KeepAlive float64
+	// QueueSlack scales instance admission capacity:
+	// maxOutstanding = max(1, floor(QueueSlack*SLO/bottleneck)).
+	// Default 1.
+	QueueSlack float64
+	// PendingDrop drops a pending request after this multiple of its
+	// SLO (default 4, mimicking client-side timeouts; drops count as
+	// SLO misses).
+	PendingDrop float64
+	// MaxInstancesPerFunc caps autoscaling (default 64).
+	MaxInstancesPerFunc int
+	// MaxBatch enables dynamic batching at instances: stages coalesce
+	// up to MaxBatch requests into one execution (1 = off, the paper's
+	// configuration; INFless-style serving systems batch).
+	MaxBatch int
+	// BatchWindow bounds how long a forming batch waits (default 20 ms).
+	BatchWindow float64
+	// BatchGamma scales batch service time: exec(n) = exec(1)·n^gamma
+	// (default 0.7 — sublinear, the reason batching pays).
+	BatchGamma float64
+	// Routing selects the load balancer's instance order; the default
+	// is the paper's heterogeneity-aware lowest-latency-first (§5.3).
+	// The alternatives exist for the routing ablation.
+	Routing RoutingOrder
+	// OnSample, when set, is called every SamplePeriod with the current
+	// virtual time and the cluster, so experiments can record custom
+	// series (e.g. per-slice-type activity for Fig. 3b).
+	OnSample func(now float64, cl *cluster.Cluster)
+	// OnComplete, when set, observes every finalised request record
+	// (served or dropped). Drivers building higher-level structures —
+	// e.g. function-chaining workflows — use it to trigger downstream
+	// invocations.
+	OnComplete func(rec metrics.RequestRecord)
+}
+
+func (o *Options) fillDefaults() {
+	if o.ControlPeriod <= 0 {
+		o.ControlPeriod = 1
+	}
+	if o.SamplePeriod <= 0 {
+		o.SamplePeriod = 1
+	}
+	if o.IdleDemote <= 0 {
+		o.IdleDemote = 20
+	}
+	if o.KeepAlive <= 0 {
+		o.KeepAlive = 600
+	}
+	if o.QueueSlack <= 0 {
+		o.QueueSlack = 1
+	}
+	if o.PendingDrop <= 0 {
+		o.PendingDrop = 4
+	}
+	if o.MaxInstancesPerFunc <= 0 {
+		o.MaxInstancesPerFunc = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 0.020
+	}
+	if o.BatchGamma <= 0 {
+		o.BatchGamma = 0.7
+	}
+}
+
+// RoutingOrder selects how the load balancer orders a function's
+// exclusive-hot instances.
+type RoutingOrder int
+
+// Routing orders.
+const (
+	// RouteLatencyAsc is the paper's heterogeneity-aware routing:
+	// lowest unloaded latency first, so urgent requests land on the
+	// fastest deployments (§5.3).
+	RouteLatencyAsc RoutingOrder = iota
+	// RouteLatencyDesc is the adversarial ablation: slowest first.
+	RouteLatencyDesc
+	// RouteRoundRobin ignores heterogeneity entirely.
+	RouteRoundRobin
+)
+
+// request is one in-flight invocation.
+type request struct {
+	id      int
+	fn      *Function
+	arrival float64
+	// deadline = arrival + SLO; pending requests are EDF-ordered.
+	deadline float64
+	rec      metrics.RequestRecord
+}
+
+// Platform wires the controller, load balancer and invokers together.
+type Platform struct {
+	eng   *sim.Engine
+	cl    *cluster.Cluster
+	opts  Options
+	funcs []*Function
+	inv   []*Invoker
+	col   *metrics.Collector
+
+	// Sampled series for Figs. 3a and 16.
+	UtilGPCs     metrics.Timeline // active GPCs / total GPCs
+	UtilGPUs     metrics.Timeline // GPUs with any active slice / total
+	OccupiedGPCs metrics.Timeline // allocated GPCs / total GPCs
+	// Fragmentation samples mig.FragmentationIndex over the free slices:
+	// how shattered the unallocated compute is (§4).
+	Fragmentation metrics.Timeline
+
+	events eventLog
+
+	instSeq   int
+	launched  int  // instances launched, for diagnostics
+	evicted   int  // time-sharing evictions performed
+	migrated  int  // pipeline->monolithic migrations
+	scaleKick bool // an immediate scale-up pass is scheduled
+}
+
+// New builds a platform over the cluster with the registered functions.
+func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
+	opts.fillDefaults()
+	if opts.Policy == nil {
+		panic("platform: nil policy")
+	}
+	p := &Platform{
+		eng:  sim.NewEngine(),
+		cl:   cl,
+		opts: opts,
+		col:  metrics.NewCollector(),
+	}
+	for i, spec := range specs {
+		if spec.ID != i {
+			panic(fmt.Sprintf("platform: spec %d has ID %d; IDs must be dense", i, spec.ID))
+		}
+		p.funcs = append(p.funcs, newFunction(spec))
+	}
+	for _, node := range cl.Nodes {
+		p.inv = append(p.inv, newInvoker(p, node))
+	}
+	return p
+}
+
+// Engine exposes the simulation engine (for tests and custom drivers).
+func (p *Platform) Engine() *sim.Engine { return p.eng }
+
+// Collector returns the request-outcome collector.
+func (p *Platform) Collector() *metrics.Collector { return p.col }
+
+// Launched returns how many instances were launched.
+func (p *Platform) Launched() int { return p.launched }
+
+// Evictions returns how many time-sharing evictions occurred.
+func (p *Platform) Evictions() int { return p.evicted }
+
+// Migrations returns how many pipeline->monolithic migrations occurred.
+func (p *Platform) Migrations() int { return p.migrated }
+
+// Cluster returns the underlying cluster for post-run inspection.
+func (p *Platform) Cluster() *cluster.Cluster { return p.cl }
+
+// Run replays the trace: requests arrive at their trace times, the
+// controller ticks at its period, and the engine runs until the trace
+// ends plus drain seconds (so in-flight requests finish).
+func (p *Platform) Run(tr *trace.Trace, drain float64) {
+	for _, r := range tr.Requests {
+		req := r
+		p.eng.At(req.Arrival, func() { p.arrive(req) })
+	}
+	end := tr.Duration + drain
+	// Control and sampling loops.
+	var control func()
+	control = func() {
+		p.controlTick()
+		if p.eng.Now()+p.opts.ControlPeriod <= end {
+			p.eng.After(p.opts.ControlPeriod, control)
+		}
+	}
+	p.eng.After(p.opts.ControlPeriod, control)
+	var sample func()
+	sample = func() {
+		p.sampleUtilization()
+		if p.eng.Now()+p.opts.SamplePeriod <= end {
+			p.eng.After(p.opts.SamplePeriod, sample)
+		}
+	}
+	p.eng.At(0, sample)
+	p.eng.RunUntil(end)
+	// Requests still pending at the end are dropped (SLO misses).
+	for _, fn := range p.funcs {
+		for _, rq := range fn.pending {
+			rq.rec.Dropped = true
+			p.record(rq.rec)
+		}
+		fn.pending = nil
+	}
+}
+
+// arrive is the load balancer entry point.
+func (p *Platform) arrive(r trace.Request) {
+	p.InjectRequest(r.Func, r.ID)
+}
+
+// InjectRequest routes a request for function fn arriving now, tagged
+// with id. Trace replay uses it internally; external drivers (e.g. the
+// workflow chaining study) call it from engine events to create
+// requests dynamically.
+func (p *Platform) InjectRequest(fn, id int) {
+	if fn < 0 || fn >= len(p.funcs) {
+		panic(fmt.Sprintf("platform: request for unknown function %d", fn))
+	}
+	f := p.funcs[fn]
+	now := p.eng.Now()
+	rq := &request{
+		id:       id,
+		fn:       f,
+		arrival:  now,
+		deadline: now + f.spec.SLO,
+		rec: metrics.RequestRecord{
+			ID:      id,
+			Func:    fn,
+			Arrival: now,
+			SLO:     f.spec.SLO,
+		},
+	}
+	p.route(rq)
+}
+
+// complete finalises a request. Queue time is the residual of the
+// end-to-end latency after execution, transfers and loads — it covers
+// both pending time at the load balancer and waiting at stage queues.
+func (p *Platform) complete(rq *request) {
+	rq.rec.Completion = p.eng.Now()
+	q := (rq.rec.Completion - rq.rec.Arrival) - rq.rec.Exec - rq.rec.Transfer - rq.rec.Load
+	if q < 0 {
+		q = 0
+	}
+	rq.rec.Queue = q
+	p.record(rq.rec)
+}
+
+// record finalises a request record and notifies the OnComplete hook.
+func (p *Platform) record(rec metrics.RequestRecord) {
+	p.col.Record(rec)
+	if p.opts.OnComplete != nil {
+		p.opts.OnComplete(rec)
+	}
+}
+
+func (p *Platform) sampleUtilization() {
+	now := p.eng.Now()
+	total := float64(p.cl.TotalGPCs())
+	p.UtilGPCs.Add(now, float64(p.cl.ActiveGPCs())/total)
+	p.OccupiedGPCs.Add(now, float64(p.cl.OccupiedGPCs())/total)
+	gpus := p.cl.AllGPUs()
+	active := 0
+	for _, g := range gpus {
+		if g.ActiveGPCs() > 0 {
+			active++
+		}
+	}
+	p.UtilGPUs.Add(now, float64(active)/float64(len(gpus)))
+	p.Fragmentation.Add(now, mig.FragmentationIndex(gpus, now))
+	if p.opts.OnSample != nil {
+		p.opts.OnSample(now, p.cl)
+	}
+}
+
+// nodeFreeViews snapshots free slices per node for the policy.
+func (p *Platform) nodeFreeViews() ([]scheduler.NodeFree, [][]*mig.Slice) {
+	now := p.eng.Now()
+	views := make([]scheduler.NodeFree, len(p.inv))
+	phys := make([][]*mig.Slice, len(p.inv))
+	for i, inv := range p.inv {
+		free := inv.node.FreeSlices(now)
+		types := make([]mig.SliceType, len(free))
+		for j, s := range free {
+			types[j] = s.Type
+		}
+		views[i] = scheduler.NodeFree{Node: inv.node.ID, Free: types}
+		phys[i] = free
+	}
+	return views, phys
+}

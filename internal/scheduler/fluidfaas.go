@@ -1,0 +1,115 @@
+package scheduler
+
+import (
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+)
+
+// FluidFaaS is the paper's policy: on-the-fly pipeline construction over
+// the CV-ranked partition list (§5.2.2), hotness-aware eviction-based
+// time sharing, and pipeline migration (§5.3).
+type FluidFaaS struct {
+	// DisableTimeSharing and DisableMigration support the ablation
+	// benches; the full system leaves them false.
+	DisableTimeSharing bool
+	DisableMigration   bool
+}
+
+// Name implements Policy.
+func (*FluidFaaS) Name() string { return "fluidfaas" }
+
+// Pipelines implements Policy.
+func (*FluidFaaS) Pipelines() bool { return true }
+
+// TimeSharing implements Policy.
+func (p *FluidFaaS) TimeSharing() bool { return !p.DisableTimeSharing }
+
+// Migration implements Policy.
+func (p *FluidFaaS) Migration() bool { return !p.DisableMigration }
+
+// freeView tracks which of a node's free slices earlier placements in
+// the same batch already consumed.
+type freeView struct {
+	types []mig.SliceType
+	used  []bool
+}
+
+func newFreeViews(nodes []NodeFree) []freeView {
+	out := make([]freeView, len(nodes))
+	for i, n := range nodes {
+		out[i] = freeView{types: n.Free, used: make([]bool, len(n.Free))}
+	}
+	return out
+}
+
+// avail returns the unconsumed slice types and their original indices.
+func (v *freeView) avail() ([]mig.SliceType, []int) {
+	var types []mig.SliceType
+	var idx []int
+	for i, t := range v.types {
+		if !v.used[i] {
+			types = append(types, t)
+			idx = append(idx, i)
+		}
+	}
+	return types, idx
+}
+
+func (v *freeView) consume(origIdx []int) {
+	for _, i := range origIdx {
+		v.used[i] = true
+	}
+}
+
+// PlaceBatch places each request in turn on the node where the
+// CV-ranked construction finds the best (lowest-CV, then fewest-GPC)
+// feasible deployment. Pipelines never span nodes: stages communicate
+// through host shared memory (§5.2.1).
+func (p *FluidFaaS) PlaceBatch(reqs []Req, nodes []NodeFree) []Placement {
+	views := newFreeViews(nodes)
+	var out []Placement
+	for ri, req := range reqs {
+		best := -1
+		var bestPlan pipeline.Plan
+		var bestIdx []int
+		for ni := range views {
+			types, orig := views[ni].avail()
+			if len(types) == 0 {
+				continue
+			}
+			plan, idx, err := pipeline.Construct(req.DAG, req.Parts, types, req.SLO)
+			if err != nil {
+				continue
+			}
+			mapped := make([]int, len(idx))
+			for i, ai := range idx {
+				mapped[i] = orig[ai]
+			}
+			if best == -1 || betterPlan(plan, bestPlan) {
+				best = ni
+				bestPlan = plan
+				bestIdx = mapped
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		out = append(out, Placement{
+			Req: ri, Node: nodes[best].Node, Plan: bestPlan, SliceIdx: bestIdx,
+		})
+		views[best].consume(bestIdx)
+	}
+	return out
+}
+
+// betterPlan prefers lower CV (better balance), then fewer GPCs (less
+// resource), then fewer stages.
+func betterPlan(a, b pipeline.Plan) bool {
+	if a.CV != b.CV {
+		return a.CV < b.CV
+	}
+	if a.GPCs() != b.GPCs() {
+		return a.GPCs() < b.GPCs()
+	}
+	return len(a.Stages) < len(b.Stages)
+}

@@ -1,0 +1,88 @@
+// Package scheduler implements the instance-placement policies the
+// evaluation compares: FluidFaaS (CV-ranked pipeline construction over
+// fragmented slices), ESG (monolithic placement by A*-search with
+// dual-blade pruning), and INFless+MIG (monolithic greedy placement).
+//
+// Policies are pure decision procedures over free-slice views, so the
+// platform can replay them deterministically inside the simulation.
+package scheduler
+
+import (
+	"errors"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+)
+
+// Req asks for one new instance of a function.
+type Req struct {
+	// Func is the function index (for reporting).
+	Func int
+	// DAG is the function's FFS DAG with profiles.
+	DAG *dag.DAG
+	// Parts is the function's CV-ranked partition list (offline step).
+	Parts []dag.Partition
+	// SLO is the function's latency budget; placements whose unloaded
+	// latency exceeds it are rejected.
+	SLO float64
+}
+
+// NodeFree is one node's free slices.
+type NodeFree struct {
+	Node int
+	Free []mig.SliceType
+}
+
+// Placement deploys one request: the plan plus, per stage, the index
+// into the node's Free list of the slice it uses.
+type Placement struct {
+	Req      int // index into the batch
+	Node     int
+	Plan     pipeline.Plan
+	SliceIdx []int
+}
+
+// ErrUnplaced reports that no node can host the request.
+var ErrUnplaced = errors.New("scheduler: request cannot be placed")
+
+// Policy is an instance-placement strategy.
+type Policy interface {
+	// Name identifies the policy ("fluidfaas", "esg", "infless").
+	Name() string
+	// Pipelines reports whether the policy may split functions into
+	// pipeline stages.
+	Pipelines() bool
+	// TimeSharing reports whether the policy uses hotness-aware
+	// eviction-based time sharing of slices.
+	TimeSharing() bool
+	// Migration reports whether pipeline instances migrate to large
+	// slices when they free up.
+	Migration() bool
+	// PlaceBatch assigns as many requests as possible to free slices.
+	// Nodes' Free lists are consumed left to right across the returned
+	// placements; a request absent from the result is unplaceable right
+	// now.
+	PlaceBatch(reqs []Req, nodes []NodeFree) []Placement
+}
+
+// monoCost returns the resource cost of running the DAG monolithically
+// on a slice type: GPC-seconds per request. Used as the efficiency
+// objective for the baselines.
+func monoCost(d *dag.DAG, t mig.SliceType) (float64, bool) {
+	plan, err := pipeline.Monolithic(d, t)
+	if err != nil {
+		return 0, false
+	}
+	return float64(t.GPCs()) * plan.Latency, true
+}
+
+// monoFits reports whether the DAG can run monolithically on t within
+// the SLO.
+func monoFits(d *dag.DAG, t mig.SliceType, slo float64) bool {
+	plan, err := pipeline.Monolithic(d, t)
+	if err != nil {
+		return false
+	}
+	return slo <= 0 || plan.Latency <= slo
+}

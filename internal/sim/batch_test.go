@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// linearService returns 1s regardless of batch size (perfect batching).
+func linearService(int) Time { return 1 }
+
+func TestBatchStationCoalesces(t *testing.T) {
+	e := NewEngine()
+	s := NewBatchStation(e, "b", 4, 0.5, linearService)
+	var sizes []int
+	for i := 0; i < 4; i++ {
+		s.Enqueue(func(n int) { sizes = append(sizes, n) })
+	}
+	e.Run()
+	if len(sizes) != 4 {
+		t.Fatalf("completions = %d, want 4", len(sizes))
+	}
+	for _, n := range sizes {
+		if n != 4 {
+			t.Fatalf("batch sizes = %v, want all 4 (full batch fires immediately)", sizes)
+		}
+	}
+	if e.Now() != 1 {
+		t.Errorf("full batch served at %v, want immediately (1s service)", e.Now())
+	}
+	if s.Batches() != 1 || s.Served() != 4 || s.MeanBatch() != 4 {
+		t.Errorf("stats: batches=%d served=%d mean=%v", s.Batches(), s.Served(), s.MeanBatch())
+	}
+}
+
+func TestBatchStationWindowExpiry(t *testing.T) {
+	e := NewEngine()
+	s := NewBatchStation(e, "b", 8, 0.5, linearService)
+	var doneAt Time = -1
+	s.Enqueue(func(n int) {
+		if n != 1 {
+			t.Errorf("batch size = %d, want 1", n)
+		}
+		doneAt = e.Now()
+	})
+	e.Run()
+	// Lone job waits out the 0.5s window then serves for 1s.
+	if math.Abs(doneAt-1.5) > 1e-12 {
+		t.Errorf("done at %v, want 1.5", doneAt)
+	}
+}
+
+func TestBatchStationZeroWindowServesImmediately(t *testing.T) {
+	e := NewEngine()
+	s := NewBatchStation(e, "b", 8, 0, linearService)
+	var n0 int
+	s.Enqueue(func(n int) { n0 = n })
+	e.Run()
+	if e.Now() != 1 || n0 != 1 {
+		t.Errorf("zero-window service: now=%v n=%d", e.Now(), n0)
+	}
+}
+
+func TestBatchStationOverflowSplitsBatches(t *testing.T) {
+	e := NewEngine()
+	s := NewBatchStation(e, "b", 2, 0, linearService)
+	count := map[int]int{}
+	for i := 0; i < 5; i++ {
+		s.Enqueue(func(n int) { count[n]++ })
+	}
+	e.Run()
+	// 5 jobs, max 2: batches of 2,2,1.
+	if count[2] != 4 || count[1] != 1 {
+		t.Errorf("batch size distribution = %v, want 4 jobs in pairs + 1 single", count)
+	}
+	if s.Batches() != 3 {
+		t.Errorf("batches = %d, want 3", s.Batches())
+	}
+	if e.Now() != 3 {
+		t.Errorf("makespan = %v, want 3", e.Now())
+	}
+}
+
+func TestBatchStationTimerRearms(t *testing.T) {
+	e := NewEngine()
+	s := NewBatchStation(e, "b", 4, 0.5, linearService)
+	var firstDone, secondDone Time
+	s.Enqueue(func(int) { firstDone = e.Now() })
+	// Second job arrives long after the first batch completed: the
+	// window timer must re-arm.
+	e.At(5, func() {
+		s.Enqueue(func(int) { secondDone = e.Now() })
+	})
+	e.Run()
+	if math.Abs(firstDone-1.5) > 1e-12 {
+		t.Errorf("first done at %v, want 1.5", firstDone)
+	}
+	if math.Abs(secondDone-6.5) > 1e-12 {
+		t.Errorf("second done at %v, want 6.5 (window re-armed)", secondDone)
+	}
+}
+
+func TestBatchStationPauseResume(t *testing.T) {
+	e := NewEngine()
+	s := NewBatchStation(e, "b", 2, 0, linearService)
+	s.Pause()
+	var done Time = -1
+	s.Enqueue(func(int) { done = e.Now() })
+	e.At(3, func() { s.Resume() })
+	e.Run()
+	if done != 4 {
+		t.Errorf("done at %v, want 4 (paused until 3)", done)
+	}
+}
+
+func TestBatchStationHooks(t *testing.T) {
+	e := NewEngine()
+	// A short window lets the two back-to-back jobs coalesce.
+	s := NewBatchStation(e, "b", 2, 0.1, func(n int) Time { return Time(n) })
+	var starts, ends []int
+	s.OnStart = func(n int) { starts = append(starts, n) }
+	s.OnEnd = func(n int) { ends = append(ends, n) }
+	s.Enqueue(func(int) {})
+	s.Enqueue(func(int) {})
+	e.Run()
+	if len(starts) != 1 || starts[0] != 2 || len(ends) != 1 || ends[0] != 2 {
+		t.Errorf("hooks: starts=%v ends=%v", starts, ends)
+	}
+	if s.BusyTime() != 2 {
+		t.Errorf("BusyTime = %v, want 2", s.BusyTime())
+	}
+}
+
+func TestBatchStationPanics(t *testing.T) {
+	e := NewEngine()
+	for name, f := range map[string]func(){
+		"maxBatch":   func() { NewBatchStation(e, "x", 0, 0, linearService) },
+		"nilService": func() { NewBatchStation(e, "x", 1, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The engine maintains a virtual clock and an event heap ordered by
+// (time, sequence). All callbacks run on the caller's goroutine inside
+// Run/Step, so simulations built on the engine need no locking and are
+// bit-for-bit reproducible for a given seed and event schedule.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds.
+type Time = float64
+
+// Forever is a time later than any event a simulation will schedule.
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.At or Engine.After.
+type Event struct {
+	time      Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64 // events executed
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nRun }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes ev from the schedule. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+}
+
+// Step executes the single earliest event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.time
+		e.nRun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the clock would pass t or the
+// schedule drains. After the call Now() == t unless the schedule drained
+// earlier, in which case the clock stays at the last event time.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		next := e.peek()
+		if next == nil || next.time > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t && t != Forever {
+		e.now = t
+	}
+}
+
+// Run executes events until the schedule drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}

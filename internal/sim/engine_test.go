@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Errorf("After fired at %v, want 15", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	// Double cancel and nil cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var ev *Event
+	e.At(1, func() { e.Cancel(ev) })
+	ev = e.At(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Error("event cancelled by earlier event still fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, tm := range []Time{1, 2, 3, 4, 5} {
+		tm := tm
+		e.At(tm, func() { fired = append(fired, tm) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Errorf("fired %d events total, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v after RunUntil(10), want 10", e.Now())
+	}
+}
+
+func TestEngineRunUntilAllCancelled(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.At(1, func() {})
+	ev2 := e.At(2, func() {})
+	e.Cancel(ev1)
+	e.Cancel(ev2)
+	e.RunUntil(5) // must not panic
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEnginePendingExecuted(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	ev := e.At(2, func() {})
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1", e.Executed())
+	}
+}
+
+// Property: for any set of event times, execution order is sorted.
+func TestEngineSortedExecutionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			tm := Time(r)
+			e.At(tm, func() { fired = append(fired, tm) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a1 := NewRNG(42, "a")
+	b := NewRNG(42, "b")
+	_ = b.Float64() // consuming from b must not affect a
+	a2 := NewRNG(42, "a")
+	for i := 0; i < 100; i++ {
+		if a1.Float64() != a2.Float64() {
+			t.Fatal("same-name streams diverged")
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	g1 := NewRNG(7, "x")
+	g2 := NewRNG(7, "x")
+	for i := 0; i < 1000; i++ {
+		if g1.Intn(100) != g2.Intn(100) {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+}
+
+func TestRNGPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 25, 100} {
+		g := NewRNG(1, "poisson")
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += g.Poisson(mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > mean*0.05+0.1 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestRNGPoissonZeroAndNegative(t *testing.T) {
+	g := NewRNG(1, "p0")
+	if g.Poisson(0) != 0 || g.Poisson(-3) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(9, "exp")
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(2.5)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-2.5) > 0.1 {
+		t.Errorf("Exp(2.5) sample mean = %v", got)
+	}
+}

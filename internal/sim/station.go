@@ -1,0 +1,119 @@
+package sim
+
+// Station is a single-server FIFO queueing station driven by an Engine.
+// Jobs enter via Enqueue; the station serves one job at a time, holding
+// it for the service time returned by the job's Service callback, then
+// invokes Done. Stations are the building block for both monolithic
+// instances (one station) and pipelines (a chain of stations).
+type Station struct {
+	eng  *Engine
+	name string
+
+	queue []*Job
+	busy  bool
+
+	// Paused stations accept jobs but do not start service; used while a
+	// time-sharing instance's model is being (re)loaded onto a slice.
+	paused bool
+
+	busySince Time
+	busyTotal Time
+	served    uint64
+}
+
+// Job is a unit of work flowing through stations.
+type Job struct {
+	// Service returns how long the station works on this job.
+	Service func() Time
+	// Done runs when service completes.
+	Done func()
+	// EnqueuedAt records when the job entered the current station's queue.
+	EnqueuedAt Time
+	// StartedAt records when service began at the current station.
+	StartedAt Time
+}
+
+// NewStation returns an idle station bound to eng.
+func NewStation(eng *Engine, name string) *Station {
+	return &Station{eng: eng, name: name}
+}
+
+// Name returns the station's diagnostic name.
+func (s *Station) Name() string { return s.name }
+
+// QueueLen returns the number of jobs waiting (excluding the one in
+// service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether a job is currently in service.
+func (s *Station) Busy() bool { return s.busy }
+
+// Served returns the number of jobs completed.
+func (s *Station) Served() uint64 { return s.served }
+
+// BusyTime returns the cumulative time spent serving jobs, up to now.
+func (s *Station) BusyTime() Time {
+	t := s.busyTotal
+	if s.busy {
+		t += s.eng.Now() - s.busySince
+	}
+	return t
+}
+
+// Utilization returns BusyTime divided by elapsed time since start of the
+// simulation (or zero at time zero).
+func (s *Station) Utilization() float64 {
+	now := s.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return s.BusyTime() / now
+}
+
+// Enqueue adds a job; service starts immediately if the station is idle
+// and not paused.
+func (s *Station) Enqueue(j *Job) {
+	j.EnqueuedAt = s.eng.Now()
+	s.queue = append(s.queue, j)
+	s.maybeStart()
+}
+
+// Pause stops the station from starting new jobs. The job currently in
+// service (if any) completes normally.
+func (s *Station) Pause() { s.paused = true }
+
+// Resume lets the station start jobs again.
+func (s *Station) Resume() {
+	if !s.paused {
+		return
+	}
+	s.paused = false
+	s.maybeStart()
+}
+
+// Paused reports whether the station is paused.
+func (s *Station) Paused() bool { return s.paused }
+
+func (s *Station) maybeStart() {
+	if s.busy || s.paused || len(s.queue) == 0 {
+		return
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.busySince = s.eng.Now()
+	j.StartedAt = s.eng.Now()
+	d := j.Service()
+	if d < 0 {
+		d = 0
+	}
+	s.eng.After(d, func() {
+		s.busy = false
+		s.busyTotal += s.eng.Now() - s.busySince
+		s.served++
+		if j.Done != nil {
+			j.Done()
+		}
+		s.maybeStart()
+	})
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestStationServesFIFO(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		st.Enqueue(&Job{
+			Service: func() Time { return 2 },
+			Done:    func() { done = append(done, i) },
+		})
+	}
+	e.Run()
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Fatalf("completion order = %v", done)
+	}
+	if e.Now() != 6 {
+		t.Errorf("three 2s jobs finished at %v, want 6", e.Now())
+	}
+	if st.Served() != 3 {
+		t.Errorf("Served = %d, want 3", st.Served())
+	}
+}
+
+func TestStationBusyTime(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	e.At(0, func() {
+		st.Enqueue(&Job{Service: func() Time { return 3 }})
+	})
+	e.At(10, func() {
+		st.Enqueue(&Job{Service: func() Time { return 2 }})
+	})
+	e.Run()
+	if got := st.BusyTime(); got != 5 {
+		t.Errorf("BusyTime = %v, want 5", got)
+	}
+	if u := st.Utilization(); u != 5.0/12.0 {
+		t.Errorf("Utilization = %v, want %v", u, 5.0/12.0)
+	}
+}
+
+func TestStationBusyTimeMidService(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	st.Enqueue(&Job{Service: func() Time { return 10 }})
+	var mid Time
+	e.At(4, func() { mid = st.BusyTime() })
+	e.Run()
+	if mid != 4 {
+		t.Errorf("BusyTime mid-service = %v, want 4", mid)
+	}
+}
+
+func TestStationPauseResume(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	st.Pause()
+	finished := Time(-1)
+	st.Enqueue(&Job{
+		Service: func() Time { return 1 },
+		Done:    func() { finished = e.Now() },
+	})
+	e.At(5, func() { st.Resume() })
+	e.Run()
+	if finished != 6 {
+		t.Errorf("job finished at %v, want 6 (paused until 5)", finished)
+	}
+}
+
+func TestStationPauseDoesNotAbortInService(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	var done1, done2 Time
+	st.Enqueue(&Job{Service: func() Time { return 4 }, Done: func() { done1 = e.Now() }})
+	st.Enqueue(&Job{Service: func() Time { return 4 }, Done: func() { done2 = e.Now() }})
+	e.At(1, func() { st.Pause() })
+	e.At(10, func() { st.Resume() })
+	e.Run()
+	if done1 != 4 {
+		t.Errorf("in-service job finished at %v, want 4", done1)
+	}
+	if done2 != 14 {
+		t.Errorf("queued job finished at %v, want 14", done2)
+	}
+}
+
+func TestStationQueueLen(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	for i := 0; i < 5; i++ {
+		st.Enqueue(&Job{Service: func() Time { return 1 }})
+	}
+	if st.QueueLen() != 4 { // one in service
+		t.Errorf("QueueLen = %d, want 4", st.QueueLen())
+	}
+	if !st.Busy() {
+		t.Error("station should be busy")
+	}
+	e.Run()
+	if st.QueueLen() != 0 || st.Busy() {
+		t.Error("station should be drained and idle")
+	}
+}
+
+func TestStationNegativeServiceClamped(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "s")
+	ok := false
+	st.Enqueue(&Job{Service: func() Time { return -5 }, Done: func() { ok = true }})
+	e.Run()
+	if !ok {
+		t.Error("job with negative service time never completed")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v for zero-length job", e.Now())
+	}
+}
+
+// Tandem chain: two stations, second fed by first's Done. Verifies
+// pipelining overlap: 3 jobs, each stage 2s -> makespan 2*(2)+2*(3-1)=8.
+func TestStationTandemPipelineOverlap(t *testing.T) {
+	e := NewEngine()
+	s1 := NewStation(e, "s1")
+	s2 := NewStation(e, "s2")
+	var finish Time
+	for i := 0; i < 3; i++ {
+		j2 := &Job{Service: func() Time { return 2 }, Done: func() { finish = e.Now() }}
+		s1.Enqueue(&Job{
+			Service: func() Time { return 2 },
+			Done:    func() { s2.Enqueue(j2) },
+		})
+	}
+	e.Run()
+	if finish != 8 {
+		t.Errorf("pipeline makespan = %v, want 8 (overlapped)", finish)
+	}
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func basicSpec() Spec {
+	return Spec{
+		Duration: 600,
+		Seed:     42,
+		Streams: []StreamSpec{
+			{Func: 0, MeanRPS: 5},
+			{Func: 1, MeanRPS: 2, RateSigma: 0.5},
+			{Func: 2, MeanRPS: 3, BurstFactor: 4, BurstFraction: 0.1, BurstLen: 20},
+		},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(basicSpec())
+	b := Generate(basicSpec())
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	spec := basicSpec()
+	a := Generate(spec)
+	spec.Seed = 43
+	b := Generate(spec)
+	if len(a.Requests) == len(b.Requests) {
+		same := true
+		for i := range a.Requests {
+			if a.Requests[i] != b.Requests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateSortedAndNumbered(t *testing.T) {
+	tr := Generate(basicSpec())
+	if !sort.SliceIsSorted(tr.Requests, func(i, j int) bool {
+		return tr.Requests[i].Arrival < tr.Requests[j].Arrival
+	}) {
+		t.Error("requests not sorted by arrival")
+	}
+	for i, r := range tr.Requests {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if r.Arrival < 0 || r.Arrival > tr.Duration {
+			t.Fatalf("arrival %v outside [0, %v]", r.Arrival, tr.Duration)
+		}
+	}
+	if tr.NumFuncs != 3 {
+		t.Errorf("NumFuncs = %d, want 3", tr.NumFuncs)
+	}
+}
+
+func TestMeanRPSHonoured(t *testing.T) {
+	// Long trace: sample mean within 10% of spec for all stream shapes.
+	spec := Spec{
+		Duration: 20000,
+		Seed:     7,
+		Streams: []StreamSpec{
+			{Func: 0, MeanRPS: 4},
+			{Func: 1, MeanRPS: 4, RateSigma: 0.6},
+			{Func: 2, MeanRPS: 4, BurstFactor: 5, BurstFraction: 0.15, BurstLen: 30},
+		},
+	}
+	tr := Generate(spec)
+	byFunc := tr.CountByFunc()
+	for f := 0; f < 3; f++ {
+		got := float64(byFunc[f]) / spec.Duration
+		if math.Abs(got-4) > 0.4 {
+			t.Errorf("stream %d mean rate = %.2f, want 4±0.4", f, got)
+		}
+	}
+}
+
+func TestBurstsRaisePeakRate(t *testing.T) {
+	flat := Generate(Spec{Duration: 2000, Seed: 1,
+		Streams: []StreamSpec{{Func: 0, MeanRPS: 10}}})
+	bursty := Generate(Spec{Duration: 2000, Seed: 1,
+		Streams: []StreamSpec{{Func: 0, MeanRPS: 10, BurstFactor: 6, BurstFraction: 0.1, BurstLen: 40}}})
+	if bursty.PeakRate(10) <= flat.PeakRate(10)*1.5 {
+		t.Errorf("bursty peak %.1f not clearly above flat peak %.1f",
+			bursty.PeakRate(10), flat.PeakRate(10))
+	}
+}
+
+func TestRateTimeline(t *testing.T) {
+	tr := Generate(Spec{Duration: 100, Seed: 3,
+		Streams: []StreamSpec{{Func: 0, MeanRPS: 5}}})
+	tl := tr.RateTimeline(10)
+	if len(tl) != 10 {
+		t.Fatalf("timeline buckets = %d, want 10", len(tl))
+	}
+	sum := 0.0
+	for _, r := range tl {
+		sum += r * 10
+	}
+	if int(sum+0.5) != len(tr.Requests) {
+		t.Errorf("timeline total %v != request count %d", sum, len(tr.Requests))
+	}
+	if got := tr.MeanRate(); math.Abs(got-sum/100) > 1e-9 {
+		t.Errorf("MeanRate = %v, want %v", got, sum/100)
+	}
+}
+
+func TestZeroRateStream(t *testing.T) {
+	tr := Generate(Spec{Duration: 100, Seed: 1,
+		Streams: []StreamSpec{{Func: 0, MeanRPS: 0}}})
+	if len(tr.Requests) != 0 {
+		t.Errorf("zero-rate stream produced %d requests", len(tr.Requests))
+	}
+}
+
+func TestGeneratePanicsOnBadDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive duration did not panic")
+		}
+	}()
+	Generate(Spec{Duration: 0})
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Generate(basicSpec())
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(back.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if back.Requests[i].Func != tr.Requests[i].Func {
+			t.Fatalf("row %d func mismatch", i)
+		}
+		if math.Abs(back.Requests[i].Arrival-tr.Requests[i].Arrival) > 1e-5 {
+			t.Fatalf("row %d arrival mismatch", i)
+		}
+	}
+	if back.NumFuncs != tr.NumFuncs {
+		t.Errorf("NumFuncs = %d, want %d", back.NumFuncs, tr.NumFuncs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"badArrival": "arrival_s,func\nxyz,0\n",
+		"badFunc":    "arrival_s,func\n1.5,zz\n",
+		"negArrival": "arrival_s,func\n-2,0\n",
+		"shortRow":   "arrival_s,func\n1.5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%s) accepted bad input", name)
+		}
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("2.0,1\n1.0,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 2 || tr.Requests[0].Arrival != 1.0 {
+		t.Errorf("headerless parse wrong: %+v", tr.Requests)
+	}
+}
+
+// Property: generated traces are valid for any sane random spec.
+func TestGenerateValidProperty(t *testing.T) {
+	f := func(seed int64, rps uint8, sigma uint8) bool {
+		tr := Generate(Spec{
+			Duration: 200,
+			Seed:     seed,
+			Streams: []StreamSpec{{
+				Func:      0,
+				MeanRPS:   float64(rps%20) + 0.5,
+				RateSigma: float64(sigma%10) / 10,
+			}},
+		})
+		last := -1.0
+		for _, r := range tr.Requests {
+			if r.Arrival < last || r.Arrival > 200 {
+				return false
+			}
+			last = r.Arrival
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	tr := Generate(Spec{Duration: 1000, Seed: 5, Streams: []StreamSpec{{
+		Func: 0, MeanRPS: 20, DiurnalAmplitude: 0.9, DiurnalPeriod: 1000,
+	}}})
+	tl := tr.RateTimeline(100)
+	// First half-period (sin > 0) must be busier than the second.
+	firstHalf, secondHalf := 0.0, 0.0
+	for i, r := range tl {
+		if i < len(tl)/2 {
+			firstHalf += r
+		} else {
+			secondHalf += r
+		}
+	}
+	if firstHalf <= secondHalf*1.5 {
+		t.Errorf("diurnal swing missing: first half %.1f vs second %.1f", firstHalf, secondHalf)
+	}
+	// Amplitude 0 leaves the trace unmodulated (deterministic check via
+	// identical spec minus amplitude).
+	flat := Generate(Spec{Duration: 1000, Seed: 5, Streams: []StreamSpec{{
+		Func: 0, MeanRPS: 20,
+	}}})
+	if len(flat.Requests) == len(tr.Requests) {
+		t.Log("note: modulated and flat traces coincidentally equal in size")
+	}
+}

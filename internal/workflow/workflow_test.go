@@ -1,0 +1,88 @@
+package workflow
+
+import (
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/scheduler"
+	"fluidfaas/internal/trace"
+)
+
+func chainedRun(t *testing.T, rps float64, duration float64) Result {
+	t.Helper()
+	tr := trace.Generate(trace.Spec{
+		Duration: duration,
+		Seed:     11,
+		Streams:  []trace.StreamSpec{{Func: 0, MeanRPS: rps}},
+	})
+	return RunChained(
+		dnn.Get(dnn.ImageClassification), dnn.Medium, tr,
+		cluster.Spec{Nodes: 1, GPUConfigs: mig.UniformNode(mig.DefaultConfig, 4), CPUMemGB: 400},
+		&scheduler.FluidFaaS{}, 11, 1.5,
+	)
+}
+
+func TestChainedCompletesRequests(t *testing.T) {
+	r := chainedRun(t, 2, 200)
+	if r.Total == 0 {
+		t.Fatal("no requests generated")
+	}
+	if float64(r.Completed) < 0.9*float64(r.Total) {
+		t.Errorf("completed %d of %d, want nearly all at low rate", r.Completed, r.Total)
+	}
+	if r.Throughput <= 0 || r.MeanLatency <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+}
+
+func TestChainedPaysHopOverhead(t *testing.T) {
+	r := chainedRun(t, 2, 200)
+	// Two hops minimum for the three-model chain.
+	if r.HopOverhead < 2*HopBase {
+		t.Errorf("hop overhead %.3f below two hop floors", r.HopOverhead)
+	}
+	// The chain's latency must exceed the whole-workflow reference
+	// latency by at least the hop overhead.
+	ref, _ := dnn.Get(dnn.ImageClassification).ReferenceLatency(dnn.Medium)
+	if r.MeanLatency < ref {
+		t.Errorf("chained mean latency %.3f below whole-workflow reference %.3f",
+			r.MeanLatency, ref)
+	}
+}
+
+func TestChainedDuplicatesRuntimeMemory(t *testing.T) {
+	r := chainedRun(t, 1, 100)
+	app := dnn.Get(dnn.ImageClassification)
+	whole := app.TotalMemGB(dnn.Medium) + RuntimeDupGB
+	if r.MemoryGB <= whole {
+		t.Errorf("chained footprint %.1f GB should exceed whole-workflow %.1f GB",
+			r.MemoryGB, whole)
+	}
+	wantExtra := RuntimeDupGB * float64(len(app.Models)-1)
+	if got := r.MemoryGB - whole; got < wantExtra-1e-9 {
+		t.Errorf("runtime duplication = %.1f GB, want >= %.1f", got, wantExtra)
+	}
+}
+
+func TestChainedSLOWorseThanWholeWorkflow(t *testing.T) {
+	// At a rate the whole-workflow platform handles comfortably, the
+	// chain's hop overhead and per-function queueing cost SLO.
+	r := chainedRun(t, 4, 200)
+	if r.SLOHit > 0.95 {
+		t.Logf("note: chained SLO hit %.2f — hops absorbed by slack", r.SLOHit)
+	}
+	if r.SLOHit < 0 || r.SLOHit > 1 {
+		t.Errorf("SLO hit out of range: %v", r.SLOHit)
+	}
+}
+
+func TestHopCost(t *testing.T) {
+	if got := hopCost(0); got != HopBase {
+		t.Errorf("hopCost(0) = %v, want base", got)
+	}
+	if got := hopCost(500); got != HopBase+1 {
+		t.Errorf("hopCost(500) = %v, want base+1s", got)
+	}
+}
