@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|all")
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|all")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	csvDir := flag.String("csv", "", "also write plot series (Fig. 3a, Fig. 16 timelines, CDFs) as CSV files into this directory")
@@ -88,6 +88,7 @@ func main() {
 	show("slosweep", func() { fmt.Println(experiments.SLOSweepTable(experiments.RunSLOSweep(cfg, nil))) })
 	show("batching", func() { fmt.Println(experiments.BatchingTable(experiments.RunBatching(cfg, nil))) })
 	show("chaining", func() { fmt.Println(experiments.ChainingTable(experiments.RunChaining(cfg))) })
+	show("resilience", func() { fmt.Println(experiments.ResilienceTable(experiments.RunResilience(cfg))) })
 
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())

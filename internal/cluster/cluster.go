@@ -18,7 +18,22 @@ type Node struct {
 
 	// warmMemGB tracks host memory used by warm (evicted) models.
 	warmMemGB float64
+
+	// down marks a crashed node: no placement until it recovers, and
+	// its warm host-memory copies are lost.
+	down bool
 }
+
+// Healthy reports whether the node is up.
+func (n *Node) Healthy() bool { return !n.down }
+
+// SetHealthy marks the node crashed (false) or recovered (true). GPU
+// and slice health are tracked separately.
+func (n *Node) SetHealthy(h bool) { n.down = !h }
+
+// DropWarm discards all warm host-memory reservations (a node crash
+// loses the models parked in CPU memory).
+func (n *Node) DropWarm() { n.warmMemGB = 0 }
 
 // Cluster is a set of invoker nodes.
 type Cluster struct {
@@ -67,9 +82,13 @@ func New(spec Spec) *Cluster {
 	return c
 }
 
-// FreeSlices returns the node's free slices across all GPUs, largest
-// first within each GPU, GPUs in ID order.
+// FreeSlices returns the node's free healthy slices across all GPUs,
+// largest first within each GPU, GPUs in ID order. A crashed node has
+// no free slices.
 func (n *Node) FreeSlices(now float64) []*mig.Slice {
+	if n.down {
+		return nil
+	}
 	var out []*mig.Slice
 	for _, g := range n.GPUs {
 		out = append(out, g.FreeSlices(now)...)
@@ -79,6 +98,9 @@ func (n *Node) FreeSlices(now float64) []*mig.Slice {
 
 // FreeGPCs returns total free compute on the node.
 func (n *Node) FreeGPCs(now float64) int {
+	if n.down {
+		return 0
+	}
 	t := 0
 	for _, g := range n.GPUs {
 		t += g.FreeGPCs(now)

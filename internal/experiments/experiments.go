@@ -10,6 +10,7 @@ import (
 
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/faults"
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/platform"
@@ -100,6 +101,9 @@ type Config struct {
 	// Routing overrides the load balancer's instance ordering (for the
 	// routing ablation; default is the paper's latency-ascending).
 	Routing platform.RoutingOrder
+	// Faults injects a deterministic hardware-fault schedule (nil = the
+	// paper's fault-free runs; used by the resilience extension study).
+	Faults *faults.Spec
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +224,16 @@ type SystemResult struct {
 	Migrations int
 	Launched   int
 
+	// Fault-run outcome: the fraction of requests that did not fail on
+	// faulted hardware, and the retry/teardown activity behind it.
+	Availability float64
+	FailedCount  int
+	RetriedCount int
+	TotalRetries int
+	Faults       int
+	Recoveries   int
+	Retries      int
+
 	// Events are the platform's retained lifecycle events.
 	Events []platform.Event
 }
@@ -235,6 +249,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	})
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
+		Faults: cfg.Faults,
 	})
 	tr := TraceFor(w, cfg)
 	p.Run(tr, cfg.Drain)
@@ -264,6 +279,13 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		Evictions:     p.Evictions(),
 		Migrations:    p.Migrations(),
 		Launched:      p.Launched(),
+		Availability:  col.Availability(),
+		FailedCount:   col.FailedCount(),
+		RetriedCount:  col.RetriedCount(),
+		TotalRetries:  col.TotalRetries(),
+		Faults:        p.FaultsInjected(),
+		Recoveries:    p.Recoveries(),
+		Retries:       p.Retries(),
 		Events:        p.Events(),
 	}
 	for f, ls := range col.LatenciesByFunc() {
@@ -312,4 +334,6 @@ func (t Table) String() string {
 
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
 func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func itoa(n int) string    { return fmt.Sprintf("%d", n) }
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }

@@ -1,0 +1,212 @@
+// Package faults generates deterministic, seeded fault schedules for
+// the simulated cluster: MIG-slice ECC faults, whole-GPU failures, and
+// node crash/recover events. The platform injects these on its event
+// engine so every run is bit-for-bit reproducible — the same seed and
+// spec always yield the same faults, and a zero-rate spec yields no
+// events at all (leaving fault-free runs untouched).
+//
+// Schedules come from two sources: Poisson processes parameterised by
+// per-class rates (Spec rates + Build), or an explicit Script for
+// targeted studies and regression tests. Each fault carries its own
+// repair time drawn from the class's mean time to repair.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"fluidfaas/internal/sim"
+)
+
+// Kind classifies a fault event by the hardware layer it takes down.
+type Kind int
+
+// The three fault classes, smallest blast radius first.
+const (
+	// SliceFault takes down one MIG slice (uncorrectable ECC error in
+	// the slice's memory partition): the strong-isolation case — the
+	// GPU's other slices keep serving.
+	SliceFault Kind = iota
+	// GPUFault takes down a whole GPU and every slice on it (driver
+	// wedge, XID error, thermal shutdown).
+	GPUFault
+	// NodeCrash takes down an invoker node: all its GPUs, plus the host
+	// memory holding warm model copies.
+	NodeCrash
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case SliceFault:
+		return "slice-fault"
+	case GPUFault:
+		return "gpu-fault"
+	case NodeCrash:
+		return "node-crash"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault and its repair.
+type Event struct {
+	// Time is when the fault strikes (virtual seconds).
+	Time float64
+	// Kind selects the hardware layer.
+	Kind Kind
+	// Node is the victim node index. Always set.
+	Node int
+	// GPU is the victim GPU index within the node (SliceFault and
+	// GPUFault; -1 for NodeCrash).
+	GPU int
+	// Slice is the victim slice index within the GPU (SliceFault only;
+	// -1 otherwise).
+	Slice int
+	// Recovery is the absolute repair time. Recovery past the run
+	// horizon means the hardware stays down for the rest of the run.
+	Recovery float64
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	target := fmt.Sprintf("node%d", e.Node)
+	switch e.Kind {
+	case GPUFault:
+		target = fmt.Sprintf("node%d/gpu%d", e.Node, e.GPU)
+	case SliceFault:
+		target = fmt.Sprintf("node%d/gpu%d/slice%d", e.Node, e.GPU, e.Slice)
+	}
+	return fmt.Sprintf("%8.2fs %-11s %-22s repaired %.2fs", e.Time, e.Kind, target, e.Recovery)
+}
+
+// Spec parameterises fault generation. The zero value disables faults
+// entirely (Build returns an empty schedule).
+type Spec struct {
+	// SliceRate, GPURate and NodeRate are cluster-wide fault rates in
+	// faults per second for each class. Zero disables the class.
+	SliceRate float64
+	GPURate   float64
+	NodeRate  float64
+
+	// SliceMTTR, GPUMTTR and NodeMTTR are the mean times to repair
+	// (seconds) for each class; repair times are exponential draws.
+	// Defaults: 30 s (slice reset), 90 s (GPU reset), 180 s (node
+	// reboot).
+	SliceMTTR float64
+	GPUMTTR   float64
+	NodeMTTR  float64
+
+	// Script, when non-empty, is used verbatim (sorted by time) instead
+	// of generating from the rates — for targeted studies and tests.
+	Script []Event
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.SliceMTTR <= 0 {
+		s.SliceMTTR = 30
+	}
+	if s.GPUMTTR <= 0 {
+		s.GPUMTTR = 90
+	}
+	if s.NodeMTTR <= 0 {
+		s.NodeMTTR = 180
+	}
+	return s
+}
+
+// Enabled reports whether the spec can produce any events.
+func (s Spec) Enabled() bool {
+	return len(s.Script) > 0 || s.SliceRate > 0 || s.GPURate > 0 || s.NodeRate > 0
+}
+
+// NodeTopo describes one node's GPUs for victim selection: the slice
+// count of each GPU.
+type NodeTopo struct {
+	Slices []int
+}
+
+// Topology describes the cluster shape faults are drawn over.
+type Topology struct {
+	Nodes []NodeTopo
+}
+
+// gpuRef is a flattened (node, gpu) pair for uniform victim draws.
+type gpuRef struct {
+	node, gpu, slices int
+}
+
+func (t Topology) gpus() []gpuRef {
+	var out []gpuRef
+	for ni, n := range t.Nodes {
+		for gi, sc := range n.Slices {
+			out = append(out, gpuRef{node: ni, gpu: gi, slices: sc})
+		}
+	}
+	return out
+}
+
+// Schedule is a time-ordered fault plan.
+type Schedule struct {
+	Events []Event
+}
+
+// Len returns the number of scheduled faults.
+func (s Schedule) Len() int { return len(s.Events) }
+
+// Build derives the fault schedule for one run. Each fault class uses
+// an independent RNG stream named after the class, so enabling one
+// class never perturbs the draws of another. Faults are generated as
+// Poisson processes over [0, horizon); events are returned sorted by
+// time (ties broken by class, then generation order).
+func Build(spec Spec, seed int64, horizon float64, topo Topology) Schedule {
+	spec = spec.withDefaults()
+	if len(spec.Script) > 0 {
+		evs := append([]Event(nil), spec.Script...)
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+		return Schedule{Events: evs}
+	}
+	if horizon <= 0 || len(topo.Nodes) == 0 {
+		return Schedule{}
+	}
+	var evs []Event
+
+	if spec.SliceRate > 0 {
+		rng := sim.NewRNG(seed, "faults/slice")
+		gpus := topo.gpus()
+		for t := rng.Exp(1 / spec.SliceRate); t < horizon; t += rng.Exp(1 / spec.SliceRate) {
+			g := gpus[rng.Intn(len(gpus))]
+			if g.slices == 0 {
+				continue
+			}
+			evs = append(evs, Event{
+				Time: t, Kind: SliceFault,
+				Node: g.node, GPU: g.gpu, Slice: rng.Intn(g.slices),
+				Recovery: t + rng.Exp(spec.SliceMTTR),
+			})
+		}
+	}
+	if spec.GPURate > 0 {
+		rng := sim.NewRNG(seed, "faults/gpu")
+		gpus := topo.gpus()
+		for t := rng.Exp(1 / spec.GPURate); t < horizon; t += rng.Exp(1 / spec.GPURate) {
+			g := gpus[rng.Intn(len(gpus))]
+			evs = append(evs, Event{
+				Time: t, Kind: GPUFault,
+				Node: g.node, GPU: g.gpu, Slice: -1,
+				Recovery: t + rng.Exp(spec.GPUMTTR),
+			})
+		}
+	}
+	if spec.NodeRate > 0 {
+		rng := sim.NewRNG(seed, "faults/node")
+		for t := rng.Exp(1 / spec.NodeRate); t < horizon; t += rng.Exp(1 / spec.NodeRate) {
+			evs = append(evs, Event{
+				Time: t, Kind: NodeCrash,
+				Node: rng.Intn(len(topo.Nodes)), GPU: -1, Slice: -1,
+				Recovery: t + rng.Exp(spec.NodeMTTR),
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	return Schedule{Events: evs}
+}

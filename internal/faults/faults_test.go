@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"testing"
+)
+
+func testTopo() Topology {
+	// 2 nodes × 2 GPUs × 3 slices, the default partition's shape.
+	return Topology{Nodes: []NodeTopo{
+		{Slices: []int{3, 3}},
+		{Slices: []int{3, 3}},
+	}}
+}
+
+func TestBuildZeroSpecEmpty(t *testing.T) {
+	s := Build(Spec{}, 42, 300, testTopo())
+	if s.Len() != 0 {
+		t.Fatalf("zero-rate spec produced %d events", s.Len())
+	}
+	if (Spec{}).Enabled() {
+		t.Error("zero spec reports enabled")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Spec{SliceRate: 0.05, GPURate: 0.01, NodeRate: 0.002}
+	a := Build(spec, 7, 300, testTopo())
+	b := Build(spec, 7, 300, testTopo())
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\n%v\n%v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c := Build(spec, 8, 300, testTopo())
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a.Events) > 0 {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// Enabling one fault class must not perturb another class's draws
+// (independent RNG streams).
+func TestClassIndependence(t *testing.T) {
+	sliceOnly := Build(Spec{SliceRate: 0.05}, 7, 300, testTopo())
+	both := Build(Spec{SliceRate: 0.05, NodeRate: 0.01}, 7, 300, testTopo())
+	var bothSlices []Event
+	for _, e := range both.Events {
+		if e.Kind == SliceFault {
+			bothSlices = append(bothSlices, e)
+		}
+	}
+	if len(bothSlices) != len(sliceOnly.Events) {
+		t.Fatalf("slice draws changed when node faults were enabled: %d vs %d",
+			len(bothSlices), len(sliceOnly.Events))
+	}
+	for i := range bothSlices {
+		if bothSlices[i] != sliceOnly.Events[i] {
+			t.Fatalf("slice event %d perturbed by the node stream", i)
+		}
+	}
+}
+
+func TestBuildEventShape(t *testing.T) {
+	spec := Spec{SliceRate: 0.1, GPURate: 0.05, NodeRate: 0.02}
+	s := Build(spec, 13, 200, testTopo())
+	if s.Len() == 0 {
+		t.Fatal("no events at substantial rates")
+	}
+	last := -1.0
+	for _, e := range s.Events {
+		if e.Time < 0 || e.Time >= 200 {
+			t.Fatalf("event outside horizon: %v", e)
+		}
+		if e.Time < last {
+			t.Fatalf("events out of order: %v after %.2f", e, last)
+		}
+		last = e.Time
+		if e.Recovery <= e.Time {
+			t.Fatalf("recovery not after fault: %v", e)
+		}
+		if e.Node < 0 || e.Node >= 2 {
+			t.Fatalf("victim node out of range: %v", e)
+		}
+		switch e.Kind {
+		case SliceFault:
+			if e.GPU < 0 || e.GPU >= 2 || e.Slice < 0 || e.Slice >= 3 {
+				t.Fatalf("slice victim out of range: %v", e)
+			}
+		case GPUFault:
+			if e.GPU < 0 || e.GPU >= 2 || e.Slice != -1 {
+				t.Fatalf("gpu victim malformed: %v", e)
+			}
+		case NodeCrash:
+			if e.GPU != -1 || e.Slice != -1 {
+				t.Fatalf("node victim malformed: %v", e)
+			}
+		}
+		if e.String() == "" || e.Kind.String() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestScriptPassthrough(t *testing.T) {
+	script := []Event{
+		{Time: 50, Kind: GPUFault, Node: 1, GPU: 0, Slice: -1, Recovery: 120},
+		{Time: 10, Kind: SliceFault, Node: 0, GPU: 1, Slice: 2, Recovery: 40},
+	}
+	s := Build(Spec{Script: script, SliceRate: 99}, 1, 300, testTopo())
+	if s.Len() != 2 {
+		t.Fatalf("script not used verbatim: %d events", s.Len())
+	}
+	if s.Events[0].Time != 10 || s.Events[1].Time != 50 {
+		t.Errorf("script not sorted by time: %v", s.Events)
+	}
+	if !(Spec{Script: script}).Enabled() {
+		t.Error("scripted spec reports disabled")
+	}
+}

@@ -17,7 +17,8 @@ type RequestRecord struct {
 	ID      int
 	Func    int
 	Arrival float64
-	// Completion is when the result was produced; meaningless if Dropped.
+	// Completion is when the result was produced, or — for dropped
+	// requests — when the platform abandoned them.
 	Completion float64
 	// Latency breakdown (Fig. 14).
 	Queue    float64
@@ -26,8 +27,16 @@ type RequestRecord struct {
 	Transfer float64
 	// SLO is the request's latency budget (0 = none).
 	SLO float64
-	// Dropped marks requests the platform could not serve.
+	// Dropped marks requests the platform could not serve. Dropped
+	// records carry the drop time in Completion, so Latency() is the
+	// time the request spent waiting before being abandoned.
 	Dropped bool
+	// Retries counts fault-triggered re-routes this request survived.
+	Retries int
+	// Failed marks requests abandoned because of hardware faults: the
+	// retry budget or the deadline was exhausted after a fault. Failed
+	// implies Dropped.
+	Failed bool
 }
 
 // Latency returns the end-to-end latency.
@@ -64,6 +73,48 @@ func (c *Collector) Completed() int {
 		}
 	}
 	return n
+}
+
+// FailedCount returns requests abandoned because of hardware faults.
+func (c *Collector) FailedCount() int {
+	n := 0
+	for _, r := range c.records {
+		if r.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// RetriedCount returns requests that were re-routed at least once after
+// a hardware fault (whether they ultimately completed or not).
+func (c *Collector) RetriedCount() int {
+	n := 0
+	for _, r := range c.records {
+		if r.Retries > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalRetries sums fault-triggered re-routes across all requests.
+func (c *Collector) TotalRetries() int {
+	n := 0
+	for _, r := range c.records {
+		n += r.Retries
+	}
+	return n
+}
+
+// Availability is the fraction of requests not lost to hardware
+// faults: 1 - FailedCount/Len. An empty collector reports 1 (no
+// request was ever failed).
+func (c *Collector) Availability() float64 {
+	if len(c.records) == 0 {
+		return 1
+	}
+	return 1 - float64(c.FailedCount())/float64(len(c.records))
 }
 
 // SLOHitRate returns the fraction of all requests that met their SLO.

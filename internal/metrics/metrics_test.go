@@ -209,3 +209,36 @@ func TestTimelineDegenerate(t *testing.T) {
 		t.Error("single-sample mean should be 0")
 	}
 }
+
+func TestFaultCounters(t *testing.T) {
+	c := NewCollector()
+	if c.Availability() != 1 {
+		t.Error("empty collector availability should be 1")
+	}
+	c.Record(RequestRecord{ID: 0, Arrival: 1, Completion: 2})
+	c.Record(RequestRecord{ID: 1, Arrival: 1, Completion: 3, Retries: 2})
+	c.Record(RequestRecord{ID: 2, Arrival: 1, Completion: 4, Retries: 1, Dropped: true, Failed: true})
+	c.Record(RequestRecord{ID: 3, Arrival: 1, Completion: 5, Dropped: true})
+
+	if got := c.FailedCount(); got != 1 {
+		t.Errorf("FailedCount = %d, want 1 (plain drops are not failures)", got)
+	}
+	if got := c.RetriedCount(); got != 2 {
+		t.Errorf("RetriedCount = %d, want 2", got)
+	}
+	if got := c.TotalRetries(); got != 3 {
+		t.Errorf("TotalRetries = %d, want 3", got)
+	}
+	if got, want := c.Availability(), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Availability = %v, want %v", got, want)
+	}
+}
+
+func TestDroppedRecordLatencyNonNegative(t *testing.T) {
+	// Dropped requests record the drop time as Completion; latency is
+	// the time spent waiting before abandonment, never negative.
+	r := RequestRecord{Arrival: 5, Completion: 105, Dropped: true}
+	if got := r.Latency(); got != 100 {
+		t.Errorf("dropped latency = %v, want 100", got)
+	}
+}

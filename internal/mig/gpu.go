@@ -34,6 +34,10 @@ type Slice struct {
 	// regardless of whether it is processing; paper Fig. 5).
 	occupiedSince float64
 	occupiedTotal float64
+
+	// unhealthy marks a faulted slice (e.g. an uncorrectable ECC error
+	// in its memory partition): it cannot be allocated until repaired.
+	unhealthy bool
 }
 
 // ID returns a stable identifier like "gpu3/2g.20gb#1".
@@ -43,6 +47,21 @@ func (s *Slice) ID() string {
 
 // Free reports whether the slice has no owner.
 func (s *Slice) Free() bool { return s.Owner == "" }
+
+// Healthy reports whether the slice itself is fault-free. A usable
+// slice additionally needs a healthy GPU (see Usable).
+func (s *Slice) Healthy() bool { return !s.unhealthy }
+
+// SetHealthy marks the slice faulted (false) or repaired (true). The
+// platform tears down the slice's owner when it fails; health itself
+// carries no accounting.
+func (s *Slice) SetHealthy(h bool) { s.unhealthy = !h }
+
+// Usable reports whether the slice and its GPU are both healthy and the
+// GPU is not mid-reconfiguration.
+func (s *Slice) Usable(now float64) bool {
+	return !s.unhealthy && s.GPU.Healthy() && s.GPU.Available(now)
+}
 
 // Allocate assigns the slice to owner at time now. Allocating a held
 // slice is a model bug and panics.
@@ -122,6 +141,10 @@ type GPU struct {
 
 	// Reconfiguration: the GPU is unusable until availableAt.
 	availableAt float64
+
+	// unhealthy marks a failed GPU (driver wedge, XID error): none of
+	// its slices can be allocated until it recovers.
+	unhealthy bool
 }
 
 // NewGPU creates a GPU partitioned per cfg. Invalid configs panic.
@@ -147,6 +170,14 @@ func (g *GPU) Config() Config { return g.config }
 // Available reports whether the GPU is usable at time now (i.e. not mid
 // reconfiguration).
 func (g *GPU) Available(now float64) bool { return now >= g.availableAt }
+
+// Healthy reports whether the GPU is fault-free.
+func (g *GPU) Healthy() bool { return !g.unhealthy }
+
+// SetHealthy marks the GPU failed (false) or recovered (true). Slice
+// health is tracked separately, so a slice that faulted on its own
+// stays down when its GPU recovers.
+func (g *GPU) SetHealthy(h bool) { g.unhealthy = !h }
 
 // Reconfigure changes the partition at time now. All slices must be free.
 // The GPU becomes unavailable for ReconfigureDelay seconds — the rigid
@@ -204,14 +235,15 @@ func (g *GPU) MIGTime(now float64) float64 {
 	return t
 }
 
-// FreeSlices returns the unallocated slices, largest first.
+// FreeSlices returns the unallocated healthy slices, largest first.
+// Failed hardware never appears in placement views.
 func (g *GPU) FreeSlices(now float64) []*Slice {
-	if !g.Available(now) {
+	if !g.Available(now) || g.unhealthy {
 		return nil
 	}
 	var out []*Slice
 	for _, s := range g.Slices {
-		if s.Free() {
+		if s.Free() && s.Healthy() {
 			out = append(out, s)
 		}
 	}

@@ -88,6 +88,9 @@ func (p *Platform) pickInvokerForTS(fn *Function) *Invoker {
 	var best *Invoker
 	bestQ := math.MaxInt32
 	for _, inv := range p.inv {
+		if !inv.node.Healthy() {
+			continue
+		}
 		if ss := inv.pickSharedSlice(fn); ss != nil && len(ss.queue) < bestQ {
 			best = inv
 			bestQ = len(ss.queue)
@@ -97,6 +100,9 @@ func (p *Platform) pickInvokerForTS(fn *Function) *Invoker {
 		return best
 	}
 	for _, inv := range p.inv {
+		if !inv.node.Healthy() {
+			continue
+		}
 		if best == nil || inv.node.FreeGPCs(now) > best.node.FreeGPCs(now) {
 			best = inv
 		}
@@ -143,9 +149,8 @@ func (p *Platform) scaleUp() {
 					}
 				} else {
 					// Overloaded but not hot: grow the pool (§5.3).
-					if fn.ts.shared.inv.rebindToFreshSlice(fn) {
-						p.onTSSlack(fn.ts)
-					}
+					// rebindToFreshSlice drains pending itself.
+					fn.ts.shared.inv.rebindToFreshSlice(fn)
 					if len(fn.pending) == 0 {
 						continue
 					}
@@ -326,6 +331,9 @@ func (p *Platform) dropStalePending() {
 		for _, rq := range fn.pending {
 			if fn.spec.SLO > 0 && now-rq.arrival > p.opts.PendingDrop*fn.spec.SLO {
 				rq.rec.Dropped = true
+				// The drop is when the request leaves the system; without
+				// this, Latency() on a dropped record goes negative.
+				rq.rec.Completion = now
 				p.logEvent(EvDrop, fn.spec.Name, "pending past the client timeout")
 				p.record(rq.rec)
 				continue

@@ -30,6 +30,14 @@ const (
 	EvPoolGrow
 	// EvPoolShrink: the time-sharing pool released a slice.
 	EvPoolShrink
+	// EvFault: a slice, GPU or node failed; its instances and bindings
+	// were torn down.
+	EvFault
+	// EvRecover: failed hardware was repaired and rejoined placement.
+	EvRecover
+	// EvRetry: an in-flight request lost its hardware and was re-routed
+	// with backoff.
+	EvRetry
 )
 
 // String names the event kind.
@@ -55,6 +63,12 @@ func (k EventKind) String() string {
 		return "pool-grow"
 	case EvPoolShrink:
 		return "pool-shrink"
+	case EvFault:
+		return "fault"
+	case EvRecover:
+		return "recover"
+	case EvRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

@@ -1,0 +1,289 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fluidfaas/internal/faults"
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/mig"
+)
+
+// This file is the platform's reaction to hardware faults: injection of
+// the deterministic fault schedule, teardown of instances and
+// time-sharing bindings on failed hardware, and deadline-aware request
+// retry. Placement automatically avoids failed hardware because
+// FreeSlices filters unhealthy slices/GPUs/nodes; relaunching and
+// rebinding happen through the ordinary demand path (retried requests
+// pend, kickScaleUp places them elsewhere).
+
+// scheduleFaults builds the run's fault schedule and registers the
+// injection and repair events. A nil or empty spec registers nothing,
+// leaving fault-free runs bit-for-bit identical.
+func (p *Platform) scheduleFaults(end float64) {
+	if p.opts.Faults == nil || !p.opts.Faults.Enabled() {
+		return
+	}
+	topo := faults.Topology{}
+	for _, n := range p.cl.Nodes {
+		nt := faults.NodeTopo{}
+		for _, g := range n.GPUs {
+			nt.Slices = append(nt.Slices, len(g.Slices))
+		}
+		topo.Nodes = append(topo.Nodes, nt)
+	}
+	sched := faults.Build(*p.opts.Faults, p.opts.Seed, end, topo)
+	for _, ev := range sched.Events {
+		ev := ev
+		if ev.Time > end {
+			continue
+		}
+		p.eng.At(ev.Time, func() { p.injectFault(ev) })
+		if ev.Recovery > ev.Time && ev.Recovery <= end {
+			p.eng.At(ev.Recovery, func() { p.recoverFault(ev) })
+		}
+	}
+}
+
+// injectFault applies one fault event: mark the hardware unhealthy and
+// tear down whatever was running on it. Striking already-failed
+// hardware is a no-op (overlapping faults happen at high rates).
+func (p *Platform) injectFault(ev faults.Event) {
+	switch ev.Kind {
+	case faults.SliceFault:
+		sl := p.cl.Nodes[ev.Node].GPUs[ev.GPU].Slices[ev.Slice]
+		if !sl.Healthy() {
+			return
+		}
+		sl.SetHealthy(false)
+		p.faultsInjected++
+		p.logEvent(EvFault, sl.ID(), "slice ECC fault")
+		p.failSlice(sl)
+	case faults.GPUFault:
+		g := p.cl.Nodes[ev.Node].GPUs[ev.GPU]
+		if !g.Healthy() {
+			return
+		}
+		g.SetHealthy(false)
+		p.faultsInjected++
+		p.logEvent(EvFault, fmt.Sprintf("gpu%d", g.ID), "GPU failure")
+		for _, sl := range g.Slices {
+			p.failSlice(sl)
+		}
+	case faults.NodeCrash:
+		node := p.cl.Nodes[ev.Node]
+		if !node.Healthy() {
+			return
+		}
+		node.SetHealthy(false)
+		p.faultsInjected++
+		p.logEvent(EvFault, fmt.Sprintf("node%d", node.ID), "node crash")
+		for _, g := range node.GPUs {
+			for _, sl := range g.Slices {
+				p.failSlice(sl)
+			}
+		}
+		// The crash loses the host memory holding warm copies, and the
+		// node's image/weight cache: future loads there are cold.
+		node.DropWarm()
+		for _, fn := range p.funcs {
+			delete(fn.lastNodeUse, node.ID)
+		}
+	}
+	// Retried and pending demand should be re-placed on surviving
+	// hardware without waiting for the next control period.
+	p.kickScaleUp()
+}
+
+// recoverFault repairs the hardware a fault event took down. Only the
+// layer the fault struck is repaired: a slice that faulted on its own
+// stays down when its GPU or node recovers.
+func (p *Platform) recoverFault(ev faults.Event) {
+	switch ev.Kind {
+	case faults.SliceFault:
+		sl := p.cl.Nodes[ev.Node].GPUs[ev.GPU].Slices[ev.Slice]
+		if sl.Healthy() {
+			return
+		}
+		sl.SetHealthy(true)
+		p.recoveries++
+		p.logEvent(EvRecover, sl.ID(), "slice repaired")
+	case faults.GPUFault:
+		g := p.cl.Nodes[ev.Node].GPUs[ev.GPU]
+		if g.Healthy() {
+			return
+		}
+		g.SetHealthy(true)
+		p.recoveries++
+		p.logEvent(EvRecover, fmt.Sprintf("gpu%d", g.ID), "GPU recovered")
+	case faults.NodeCrash:
+		node := p.cl.Nodes[ev.Node]
+		if node.Healthy() {
+			return
+		}
+		node.SetHealthy(true)
+		p.recoveries++
+		p.logEvent(EvRecover, fmt.Sprintf("node%d", node.ID), "node recovered")
+	}
+	// Recovered capacity can absorb pending demand immediately.
+	p.kickScaleUp()
+}
+
+// failSlice tears down whatever owns the slice: an exclusive instance
+// (all its slices free up, in-flight requests retry) or a time-sharing
+// pool slice (bindings go cold, queued requests retry). A free slice
+// needs no teardown — it just stops appearing in placement views.
+func (p *Platform) failSlice(sl *mig.Slice) {
+	if sl.Free() {
+		return
+	}
+	inv := p.inv[sl.GPU.Node]
+	for _, ss := range inv.shared {
+		if ss.slice == sl {
+			p.failShared(ss)
+			return
+		}
+	}
+	for _, fn := range p.funcs {
+		for _, inst := range fn.instances {
+			for _, s := range inst.slices {
+				if s == sl {
+					p.failInstance(inst)
+					return
+				}
+			}
+		}
+	}
+}
+
+// failInstance tears down an exclusive instance whose hardware failed:
+// its slices are released (healthy siblings of a pipeline return to the
+// free pool), and every in-flight request is retried elsewhere.
+func (p *Platform) failInstance(inst *Instance) {
+	if inst.failed {
+		return
+	}
+	inst.failed = true
+	inst.retiring = true
+	now := p.eng.Now()
+	for _, sl := range inst.slices {
+		if !sl.Free() {
+			sl.Release(now)
+		}
+	}
+	inst.fn.removeInstance(inst)
+	p.logEvent(EvRelease, inst.id, "torn down by fault")
+	rqs := inst.inflight
+	inst.inflight = nil
+	inst.outstanding = 0
+	for _, rq := range rqs {
+		p.retryAfterFault(rq, "instance "+inst.id+" failed")
+	}
+}
+
+// failShared tears down a time-sharing pool slice whose hardware
+// failed: the serving and queued requests retry elsewhere, and every
+// binding goes cold (its GPU-resident and host-warm copies are gone
+// with the hardware; rebinding happens on the next request).
+func (p *Platform) failShared(ss *sharedSlice) {
+	if ss.failed {
+		return
+	}
+	ss.failed = true
+	inv := ss.inv
+	now := p.eng.Now()
+	var rqs []*request
+	if ss.serving != nil {
+		rqs = append(rqs, ss.serving.rq)
+		ss.serving = nil
+	}
+	for _, job := range ss.queue {
+		rqs = append(rqs, job.rq)
+	}
+	ss.queue = nil
+	ss.busy = false
+
+	names := make([]string, 0, len(ss.bindings))
+	for name := range ss.bindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := ss.bindings[name]
+		b.outstanding = 0
+		b.resident = false
+		if b.state.State() == keepalive.TimeSharing {
+			if err := b.state.To(keepalive.Warm); err != nil {
+				panic(err)
+			}
+		}
+		if b.state.State() == keepalive.Warm {
+			if err := b.state.To(keepalive.Cold); err != nil {
+				panic(err)
+			}
+		}
+		if b.hostMemGB > 0 {
+			inv.node.ReleaseWarm(b.hostMemGB)
+			b.hostMemGB = 0
+		}
+		b.fn.ts = nil
+		delete(ss.bindings, name)
+		ss.lru.Remove(name)
+	}
+	ss.resident = nil
+
+	for i, x := range inv.shared {
+		if x == ss {
+			inv.shared = append(inv.shared[:i], inv.shared[i+1:]...)
+			break
+		}
+	}
+	if ss.slice.Active() {
+		ss.slice.SetActive(false, now)
+	}
+	ss.slice.Release(now)
+	p.logEvent(EvPoolShrink, ss.slice.ID(), "torn down by fault")
+	for _, rq := range rqs {
+		p.retryAfterFault(rq, "shared slice "+ss.slice.ID()+" failed")
+	}
+}
+
+// retryAfterFault re-routes a request that lost its hardware, with
+// capped exponential backoff. Deadline-aware: a request whose retry
+// could not land before its drop horizon (or the end of the run), or
+// whose attempt budget is spent, is abandoned as a failed drop.
+func (p *Platform) retryAfterFault(rq *request, reason string) {
+	now := p.eng.Now()
+	// Roll the breakdown back to the admission snapshot: the failed
+	// attempt's partial execution is wasted work and must not double-
+	// count against the retry's own execution. The wasted wall-clock
+	// time lands in Queue as the completion residual.
+	rq.rec.Exec = rq.snapExec
+	rq.rec.Load = rq.snapLoad
+	rq.rec.Transfer = rq.snapTransfer
+	rq.attempts++
+	pol := p.opts.Retry
+	backoff := pol.Backoff * math.Pow(2, float64(rq.attempts-1))
+	if backoff > pol.BackoffCap {
+		backoff = pol.BackoffCap
+	}
+	horizon := p.runEnd
+	if rq.fn.spec.SLO > 0 {
+		if h := rq.arrival + p.opts.PendingDrop*rq.fn.spec.SLO; h < horizon {
+			horizon = h
+		}
+	}
+	if rq.attempts > pol.MaxAttempts || now+backoff >= horizon {
+		rq.rec.Dropped = true
+		rq.rec.Failed = true
+		rq.rec.Completion = now
+		p.logEvent(EvDrop, rq.fn.spec.Name, "abandoned: "+reason)
+		p.record(rq.rec)
+		return
+	}
+	rq.rec.Retries++
+	p.retries++
+	p.logEvent(EvRetry, rq.fn.spec.Name, reason)
+	p.eng.After(backoff, func() { p.route(rq) })
+}

@@ -36,6 +36,23 @@ type Instance struct {
 	// migrating marks a pipeline instance being replaced by a
 	// monolithic one (§5.3 pipeline migration).
 	migrating bool
+	// failed marks an instance torn down by a hardware fault: stale
+	// engine events referencing it become no-ops, and its in-flight
+	// requests were already retried elsewhere.
+	failed bool
+	// inflight tracks admitted, not-yet-completed requests so a fault
+	// can retry exactly the work that was lost.
+	inflight []*request
+}
+
+// forget drops rq from the in-flight list (on completion).
+func (inst *Instance) forget(rq *request) {
+	for i, x := range inst.inflight {
+		if x == rq {
+			inst.inflight = append(inst.inflight[:i], inst.inflight[i+1:]...)
+			return
+		}
+	}
 }
 
 // Pipelined reports whether the instance spans multiple slices.
@@ -79,10 +96,16 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 					return exec * math.Pow(float64(n), p.opts.BatchGamma)
 				})
 			bs.OnStart = func(int) {
+				if inst.failed {
+					return
+				}
 				slice.SetActive(true, p.eng.Now())
 				inst.tracker.Begin(p.eng.Now())
 			}
 			bs.OnEnd = func(int) {
+				if inst.failed {
+					return
+				}
 				slice.SetActive(false, p.eng.Now())
 				inst.tracker.End(p.eng.Now())
 			}
@@ -95,6 +118,9 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 		inst.stations = append(inst.stations, st)
 	}
 	resume := func() {
+		if inst.failed {
+			return
+		}
 		for _, st := range inst.stations {
 			st.Resume()
 		}
@@ -133,11 +159,18 @@ func admissionCapacity(slo, bottleneck, slack float64) int {
 // admit runs a request through the instance's stage stations.
 func (inst *Instance) admit(p *Platform, rq *request) {
 	inst.outstanding++
+	inst.inflight = append(inst.inflight, rq)
+	rq.snapshot()
 	inst.tracker.Touch(p.eng.Now())
 	inst.enqueueStage(p, rq, 0)
 }
 
 func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
+	if inst.failed {
+		// The instance died while rq was between stages; the fault
+		// handler already retried it elsewhere.
+		return
+	}
 	if len(inst.bstations) > 0 {
 		inst.enqueueStageBatched(p, rq, si)
 		return
@@ -148,6 +181,9 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 	enqueueAt := p.eng.Now()
 	st.Enqueue(&sim.Job{
 		Service: func() sim.Time {
+			if inst.failed {
+				return 0
+			}
 			now := p.eng.Now()
 			wait := now - enqueueAt
 			// Attribute the portion of the wait spent in the initial
@@ -167,6 +203,9 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 			return sp.ExecTime
 		},
 		Done: func() {
+			if inst.failed {
+				return
+			}
 			now := p.eng.Now()
 			sl.SetActive(false, now)
 			inst.tracker.End(now)
@@ -178,6 +217,7 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 				return
 			}
 			inst.outstanding--
+			inst.forget(rq)
 			p.complete(rq)
 			p.onInstanceSlack(inst)
 		},
@@ -189,9 +229,15 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 // (the slice was busy that long on its behalf; waiting to form the
 // batch lands in Queue via the completion residual).
 func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
+	if inst.failed {
+		return
+	}
 	bs := inst.bstations[si]
 	sp := inst.plan.Stages[si]
 	bs.Enqueue(func(n int) {
+		if inst.failed {
+			return
+		}
 		rq.rec.Exec += sp.ExecTime * math.Pow(float64(n), p.opts.BatchGamma)
 		if si+1 < len(inst.bstations) {
 			rq.rec.Transfer += sp.TransferOut
@@ -201,6 +247,7 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 			return
 		}
 		inst.outstanding--
+		inst.forget(rq)
 		inst.tracker.Touch(p.eng.Now())
 		p.complete(rq)
 		p.onInstanceSlack(inst)

@@ -58,6 +58,12 @@ type sharedSlice struct {
 	bindings map[string]*tsBinding // keyed by function name
 	queue    []*tsJob
 	busy     bool
+	// serving is the job in service while busy, so a fault can retry
+	// exactly the request that was running.
+	serving *tsJob
+	// failed marks a pool slice torn down by a hardware fault: stale
+	// engine events referencing it become no-ops.
+	failed bool
 }
 
 // sharedOwner is the slice-owner tag of pool slices.
@@ -224,6 +230,10 @@ func (inv *Invoker) rebindToFreshSlice(fn *Function) bool {
 	b.capacity = admissionCapacity(fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
 	ns.bindings[fn.spec.Name] = b
 	ns.lru.Touch(fn.spec.Name)
+	// The fresh slice starts serving pending overflow immediately —
+	// without this, pending requests sit until the next completion or
+	// control tick.
+	inv.p.onTSSlack(b)
 	return true
 }
 
@@ -271,6 +281,10 @@ func (inv *Invoker) reclaimIdle() int {
 				b.capacity = admissionCapacity(b.fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
 				dst.bindings[name] = b
 				dst.lru.Touch(name)
+				// Drain pending into the new home right away; a moved
+				// binding must not strand its function's overflow until
+				// the next completion or control tick.
+				inv.p.onTSSlack(b)
 				continue
 			}
 			// No sibling fits: the binding goes cold.
@@ -313,6 +327,7 @@ func (inv *Invoker) siblingSlice(not *sharedSlice, b *tsBinding) *sharedSlice {
 // deadline minus estimated execution and load times (§5.3).
 func (ss *sharedSlice) enqueue(p *Platform, b *tsBinding, rq *request) {
 	b.outstanding++
+	rq.snapshot()
 	b.tracker.Touch(p.eng.Now())
 	job := &tsJob{
 		rq:         rq,
@@ -329,12 +344,13 @@ func (ss *sharedSlice) enqueue(p *Platform, b *tsBinding, rq *request) {
 
 // kick starts serving if the slice is idle.
 func (ss *sharedSlice) kick(p *Platform) {
-	if ss.busy || len(ss.queue) == 0 {
+	if ss.failed || ss.busy || len(ss.queue) == 0 {
 		return
 	}
 	job := ss.queue[0]
 	ss.queue = ss.queue[1:]
 	ss.busy = true
+	ss.serving = job
 	b := job.b
 	now := p.eng.Now()
 
@@ -360,7 +376,13 @@ func (ss *sharedSlice) kick(p *Platform) {
 	ss.lru.Touch(b.fn.spec.Name)
 	ss.slice.SetActive(true, now)
 	p.eng.After(load+exec, func() {
+		if ss.failed {
+			// The slice died mid-service; the fault handler already
+			// retried the job elsewhere.
+			return
+		}
 		end := p.eng.Now()
+		ss.serving = nil
 		ss.slice.SetActive(false, end)
 		// The model is fully fetched only now; the host copy makes
 		// later loads warm (for this binding and for exclusive
@@ -445,10 +467,10 @@ func (p *Platform) onTSSlack(b *tsBinding) {
 // frees up, replace the worst pipelined instance that fits it with a
 // monolithic instance on the freed slice.
 func (p *Platform) tryMigration(freed *mig.Slice) {
-	if !freed.Free() {
+	now := p.eng.Now()
+	if !freed.Free() || !freed.Usable(now) || !p.nodeOf(freed).Healthy() {
 		return
 	}
-	now := p.eng.Now()
 	var bestFn *Function
 	var bestInst *Instance
 	for _, fn := range p.funcs {
@@ -464,6 +486,13 @@ func (p *Platform) tryMigration(freed *mig.Slice) {
 		}
 		for _, inst := range fn.instances {
 			if !inst.Pipelined() || inst.retiring || inst.migrating {
+				continue
+			}
+			// A pipeline with no in-flight work and a cooled-off
+			// tracker is about to be demoted by the keep-alive manager;
+			// migrating it would pay a model load on the freed slice
+			// for a function nobody is calling.
+			if inst.outstanding == 0 && !inst.tracker.IsHot(now) {
 				continue
 			}
 			// Prefer migrating the highest-latency pipeline.

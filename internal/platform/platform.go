@@ -9,9 +9,11 @@ package platform
 
 import (
 	"fmt"
+	"math"
 
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/dag"
+	"fluidfaas/internal/faults"
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/scheduler"
@@ -68,6 +70,15 @@ type Options struct {
 	// BatchGamma scales batch service time: exec(n) = exec(1)·n^gamma
 	// (default 0.7 — sublinear, the reason batching pays).
 	BatchGamma float64
+	// Faults, when set, injects hardware failures during Run: the
+	// schedule is built deterministically from the spec and Seed, so
+	// the same seed always produces the same faults. Nil (or an empty
+	// spec) leaves the run bit-for-bit identical to a fault-free one.
+	Faults *faults.Spec
+	// Retry governs how requests that lose their hardware mid-flight
+	// are re-routed (deadline-aware, capped exponential backoff). Only
+	// consulted when a fault strikes; irrelevant to fault-free runs.
+	Retry RetryPolicy
 	// Routing selects the load balancer's instance order; the default
 	// is the paper's heterogeneity-aware lowest-latency-first (§5.3).
 	// The alternatives exist for the routing ablation.
@@ -114,6 +125,30 @@ func (o *Options) fillDefaults() {
 	if o.BatchGamma <= 0 {
 		o.BatchGamma = 0.7
 	}
+	if o.Retry.MaxAttempts <= 0 {
+		o.Retry.MaxAttempts = 3
+	}
+	if o.Retry.Backoff <= 0 {
+		o.Retry.Backoff = 0.050
+	}
+	if o.Retry.BackoffCap <= 0 {
+		o.Retry.BackoffCap = 1
+	}
+}
+
+// RetryPolicy bounds fault-triggered request retries. A request whose
+// hardware fails is re-routed after a capped exponential backoff; it is
+// abandoned (recorded as a failed drop) once the attempt budget is
+// spent or no retry can land before its drop deadline.
+type RetryPolicy struct {
+	// MaxAttempts is the maximum number of re-routes per request
+	// (default 3).
+	MaxAttempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it (default 50 ms).
+	Backoff float64
+	// BackoffCap bounds the backoff growth (default 1 s).
+	BackoffCap float64
 }
 
 // RoutingOrder selects how the load balancer orders a function's
@@ -140,6 +175,23 @@ type request struct {
 	// deadline = arrival + SLO; pending requests are EDF-ordered.
 	deadline float64
 	rec      metrics.RequestRecord
+
+	// attempts counts hardware failures this request has suffered; the
+	// retry policy bounds how many it may survive.
+	attempts int
+	// snapExec/snapLoad/snapTransfer snapshot the latency breakdown at
+	// admission, so a failed attempt's partial accounting can be rolled
+	// back (the wasted time then lands in Queue as the residual).
+	snapExec     float64
+	snapLoad     float64
+	snapTransfer float64
+}
+
+// snapshot records the breakdown at admission for fault rollback.
+func (rq *request) snapshot() {
+	rq.snapExec = rq.rec.Exec
+	rq.snapLoad = rq.rec.Load
+	rq.snapTransfer = rq.rec.Transfer
 }
 
 // Platform wires the controller, load balancer and invokers together.
@@ -166,6 +218,14 @@ type Platform struct {
 	evicted   int  // time-sharing evictions performed
 	migrated  int  // pipeline->monolithic migrations
 	scaleKick bool // an immediate scale-up pass is scheduled
+
+	// Fault subsystem state.
+	faultsInjected int // effective fault injections
+	recoveries     int // hardware repairs applied
+	retries        int // fault-triggered request re-routes
+	// runEnd bounds retry backoffs: a retry that cannot land before the
+	// run ends is pointless (the request would never be recorded).
+	runEnd float64
 }
 
 // New builds a platform over the cluster with the registered functions.
@@ -175,10 +235,11 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		panic("platform: nil policy")
 	}
 	p := &Platform{
-		eng:  sim.NewEngine(),
-		cl:   cl,
-		opts: opts,
-		col:  metrics.NewCollector(),
+		eng:    sim.NewEngine(),
+		cl:     cl,
+		opts:   opts,
+		col:    metrics.NewCollector(),
+		runEnd: math.Inf(1),
 	}
 	for i, spec := range specs {
 		if spec.ID != i {
@@ -207,6 +268,15 @@ func (p *Platform) Evictions() int { return p.evicted }
 // Migrations returns how many pipeline->monolithic migrations occurred.
 func (p *Platform) Migrations() int { return p.migrated }
 
+// FaultsInjected returns how many hardware faults took effect.
+func (p *Platform) FaultsInjected() int { return p.faultsInjected }
+
+// Recoveries returns how many hardware repairs were applied.
+func (p *Platform) Recoveries() int { return p.recoveries }
+
+// Retries returns how many fault-triggered request re-routes occurred.
+func (p *Platform) Retries() int { return p.retries }
+
 // Cluster returns the underlying cluster for post-run inspection.
 func (p *Platform) Cluster() *cluster.Cluster { return p.cl }
 
@@ -219,6 +289,8 @@ func (p *Platform) Run(tr *trace.Trace, drain float64) {
 		p.eng.At(req.Arrival, func() { p.arrive(req) })
 	}
 	end := tr.Duration + drain
+	p.runEnd = end
+	p.scheduleFaults(end)
 	// Control and sampling loops.
 	var control func()
 	control = func() {
@@ -237,10 +309,13 @@ func (p *Platform) Run(tr *trace.Trace, drain float64) {
 	}
 	p.eng.At(0, sample)
 	p.eng.RunUntil(end)
-	// Requests still pending at the end are dropped (SLO misses).
+	// Requests still pending at the end are dropped (SLO misses). The
+	// drop time is the completion: the record's latency is how long the
+	// request waited before being abandoned, never negative.
 	for _, fn := range p.funcs {
 		for _, rq := range fn.pending {
 			rq.rec.Dropped = true
+			rq.rec.Completion = p.eng.Now()
 			p.record(rq.rec)
 		}
 		fn.pending = nil

@@ -1,0 +1,190 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/scheduler"
+)
+
+// tsFixture binds the first two small functions onto one shared slice
+// and pre-loads them, returning the platform, bindings and slice.
+func tsFixture(t *testing.T) (*Platform, *tsBinding, *tsBinding, *sharedSlice) {
+	t.Helper()
+	specs := specsFor(t, dnn.Small)[:2]
+	p := New(smallCluster(1), specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 3})
+	inv := p.inv[0]
+	b0 := inv.bindTS(p.funcs[0])
+	b1 := inv.bindTS(p.funcs[1])
+	if b0 == nil || b1 == nil || b0.shared != b1.shared {
+		t.Fatalf("bindings not sharing a slice: %v %v", b0, b1)
+	}
+	b0.everLoaded = true
+	b1.everLoaded = true
+	return p, b0, b1, b0.shared
+}
+
+// TestEnqueuePriorityTable: the queue orders by deadline minus
+// estimated execution and load (§5.3), not by arrival; ties keep
+// arrival order (stable sort).
+func TestEnqueuePriorityTable(t *testing.T) {
+	cases := []struct {
+		name string
+		// jobs are enqueued in order while the slice is busy; binding
+		// index selects b0 or b1, deadline sets the priority input.
+		jobs []struct {
+			binding  int
+			deadline float64
+		}
+		// wantOrder are job indices in expected queue order.
+		wantOrder []int
+	}{
+		{
+			name: "earliest deadline first regardless of arrival",
+			jobs: []struct {
+				binding  int
+				deadline float64
+			}{{0, 100}, {0, 50}, {1, 10}},
+			wantOrder: []int{2, 1, 0},
+		},
+		{
+			name: "already-sorted input unchanged",
+			jobs: []struct {
+				binding  int
+				deadline float64
+			}{{0, 10}, {0, 20}, {1, 300}},
+			wantOrder: []int{0, 1, 2},
+		},
+		{
+			name: "same binding same deadline keeps arrival order",
+			jobs: []struct {
+				binding  int
+				deadline float64
+			}{{0, 50}, {0, 50}, {0, 50}},
+			wantOrder: []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, b0, b1, ss := tsFixture(t)
+			bindings := []*tsBinding{b0, b1}
+			// A blocker request occupies the slice so the case's jobs
+			// queue instead of starting service.
+			p.eng.At(0, func() {
+				ss.enqueue(p, b0, &request{fn: b0.fn, deadline: 1000})
+			})
+			jobs := make([]*request, len(tc.jobs))
+			p.eng.At(0.001, func() {
+				for i, j := range tc.jobs {
+					jobs[i] = &request{fn: bindings[j.binding].fn, deadline: j.deadline}
+					ss.enqueue(p, bindings[j.binding], jobs[i])
+				}
+			})
+			p.eng.RunUntil(0.002)
+			if len(ss.queue) != len(tc.jobs) {
+				t.Fatalf("queue length = %d, want %d", len(ss.queue), len(tc.jobs))
+			}
+			for qi, ji := range tc.wantOrder {
+				if ss.queue[qi].rq != jobs[ji] {
+					t.Errorf("queue[%d] is job with deadline %v, want job %d (deadline %v)",
+						qi, ss.queue[qi].rq.deadline, ji, tc.jobs[ji].deadline)
+				}
+			}
+		})
+	}
+}
+
+// TestEstLoadTable: the load estimate follows the binding's placement
+// state — free when resident, a warm reload from host memory, or a
+// full cold start.
+func TestEstLoadTable(t *testing.T) {
+	specs := specsFor(t, dnn.Small)[:1]
+	p := New(smallCluster(1), specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 3})
+	b := p.inv[0].bindTS(p.funcs[0])
+	if b == nil {
+		t.Fatal("bindTS failed")
+	}
+	mem := b.fn.memGB
+	cases := []struct {
+		name       string
+		resident   bool
+		everLoaded bool
+		want       float64
+	}{
+		{"resident is free", true, true, 0},
+		{"resident overrides load history", true, false, 0},
+		{"evicted but warm reloads from host", false, true, keepalive.WarmLoadTime(mem)},
+		{"never loaded pays a cold start", false, false, keepalive.ColdStartTime(mem)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b.resident = tc.resident
+			b.everLoaded = tc.everLoaded
+			if got := b.estLoad(); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("estLoad = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTSCapacityAdmission: route admits requests to the time-sharing
+// binding only up to its capacity; overflow pends for scale-up.
+func TestTSCapacityAdmission(t *testing.T) {
+	p, b0, _, _ := tsFixture(t)
+	fn := b0.fn
+	p.eng.At(0.5, func() {
+		n := b0.capacity + 2
+		for i := 0; i < n; i++ {
+			p.route(&request{
+				id: i, fn: fn, arrival: 0.5, deadline: 0.5 + fn.spec.SLO,
+			})
+		}
+		if b0.outstanding != b0.capacity {
+			t.Errorf("binding outstanding = %d, want capacity %d",
+				b0.outstanding, b0.capacity)
+		}
+		if len(fn.pending) != 2 {
+			t.Errorf("pending = %d, want the 2 overflow requests", len(fn.pending))
+		}
+	})
+	p.eng.RunUntil(0.6)
+}
+
+// TestEvictThenLoad: serving a non-resident binding evicts the LRU
+// resident (Fig. 8 transition 4) and charges the reload to the new
+// request's Load.
+func TestEvictThenLoad(t *testing.T) {
+	p, b0, b1, ss := tsFixture(t)
+	rq0 := &request{fn: b0.fn, deadline: 1000}
+	rq1 := &request{fn: b1.fn, deadline: 1000}
+	p.eng.At(0, func() { ss.enqueue(p, b0, rq0) })
+	// By t=30 the b0 request has finished and left b0 resident.
+	p.eng.At(30, func() {
+		if ss.resident != b0 || !b0.resident {
+			t.Fatal("b0 not resident after serving")
+		}
+		ss.enqueue(p, b1, rq1)
+	})
+	p.eng.RunUntil(60)
+
+	if p.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", p.Evictions())
+	}
+	if b0.resident || ss.resident != b1 {
+		t.Error("b1 did not replace b0 as the resident")
+	}
+	if got := b0.state.State(); got != keepalive.Warm {
+		t.Errorf("evicted binding state = %v, want warm", got)
+	}
+	if got := b1.state.State(); got != keepalive.TimeSharing {
+		t.Errorf("serving binding state = %v, want time-sharing", got)
+	}
+	if want := keepalive.WarmLoadTime(b1.fn.memGB); math.Abs(rq1.rec.Load-want) > 1e-9 {
+		t.Errorf("b1 request load = %v, want warm reload %v", rq1.rec.Load, want)
+	}
+	if want := keepalive.WarmLoadTime(b0.fn.memGB); math.Abs(rq0.rec.Load-want) > 1e-9 {
+		t.Errorf("b0 request load = %v, want its own warm load %v", rq0.rec.Load, want)
+	}
+}
