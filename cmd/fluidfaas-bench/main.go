@@ -6,14 +6,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"fluidfaas/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|all")
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|all")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 300, "trace duration (s)")
+	loads := flag.String("loads", "", "comma-separated load multipliers for -exp overload (default 1,2,4)")
 	csvDir := flag.String("csv", "", "also write plot series (Fig. 3a, Fig. 16 timelines, CDFs) as CSV files into this directory")
 	flag.Parse()
 
@@ -89,6 +92,20 @@ func main() {
 	show("batching", func() { fmt.Println(experiments.BatchingTable(experiments.RunBatching(cfg, nil))) })
 	show("chaining", func() { fmt.Println(experiments.ChainingTable(experiments.RunChaining(cfg))) })
 	show("resilience", func() { fmt.Println(experiments.ResilienceTable(experiments.RunResilience(cfg))) })
+	show("overload", func() {
+		var mults []float64
+		if *loads != "" {
+			for _, s := range strings.Split(*loads, ",") {
+				m, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil || m <= 0 {
+					fmt.Fprintf(os.Stderr, "bad -loads entry %q\n", s)
+					os.Exit(2)
+				}
+				mults = append(mults, m)
+			}
+		}
+		fmt.Println(experiments.OverloadTable(experiments.RunOverload(cfg, mults)))
+	})
 
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())

@@ -13,6 +13,7 @@ import (
 	"fluidfaas/internal/faults"
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/overload"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
 	"fluidfaas/internal/trace"
@@ -104,6 +105,13 @@ type Config struct {
 	// Faults injects a deterministic hardware-fault schedule (nil = the
 	// paper's fault-free runs; used by the resilience extension study).
 	Faults *faults.Spec
+	// Overload enables the overload-control subsystem (zero = off, the
+	// paper's configuration; used by the overload extension study).
+	Overload overload.Config
+	// Priorities assigns per-app priority classes (index = app order;
+	// missing entries default to 0). Brownout shedding spares the
+	// highest class.
+	Priorities []int
 }
 
 func (c Config) withDefaults() Config {
@@ -224,6 +232,16 @@ type SystemResult struct {
 	Migrations int
 	Launched   int
 
+	// Overload-study outcome: SLO-meeting completions per second, the
+	// fast-fail/timeout/shed split of the lost requests, Jain fairness
+	// over per-app SLO hit rates, and brownout activity.
+	Goodput      float64
+	Fairness     float64
+	Rejected     int
+	TimeoutDrops int
+	Shed         int
+	Contractions int
+
 	// Fault-run outcome: the fraction of requests that did not fail on
 	// faulted hardware, and the retry/teardown activity behind it.
 	Availability float64
@@ -242,6 +260,11 @@ type SystemResult struct {
 func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	cfg = cfg.withDefaults()
 	specs := SpecsFor(w, cfg.SLOScale)
+	for i := range specs {
+		if i < len(cfg.Priorities) {
+			specs[i].Priority = cfg.Priorities[i]
+		}
+	}
 	cl := cluster.New(cluster.Spec{
 		Nodes:      cfg.Nodes,
 		GPUConfigs: cfg.GPUConfigs,
@@ -249,7 +272,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	})
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
-		Faults: cfg.Faults,
+		Faults: cfg.Faults, Overload: cfg.Overload,
 	})
 	tr := TraceFor(w, cfg)
 	p.Run(tr, cfg.Drain)
@@ -279,6 +302,11 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		Evictions:     p.Evictions(),
 		Migrations:    p.Migrations(),
 		Launched:      p.Launched(),
+		Goodput:       col.Goodput(cfg.Duration),
+		Rejected:      col.RejectedCount(),
+		TimeoutDrops:  col.TimeoutDropCount(),
+		Shed:          p.ShedCount(),
+		Contractions:  p.Contractions(),
 		Availability:  col.Availability(),
 		FailedCount:   col.FailedCount(),
 		RetriedCount:  col.RetriedCount(),
@@ -291,6 +319,15 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	for f, ls := range col.LatenciesByFunc() {
 		res.CDFByApp[f] = metrics.CDF(ls, 20)
 	}
+	// Jain fairness over per-app SLO hit rates, in dense app order for
+	// determinism.
+	hits := make([]float64, len(specs))
+	for f, h := range res.SLOHitByApp {
+		if f >= 0 && f < len(hits) {
+			hits[f] = h
+		}
+	}
+	res.Fairness = metrics.JainIndex(hits)
 	return res
 }
 

@@ -31,6 +31,11 @@ type RequestRecord struct {
 	// records carry the drop time in Completion, so Latency() is the
 	// time the request spent waiting before being abandoned.
 	Dropped bool
+	// Rejected marks requests the admission controller fast-failed at
+	// arrival (or brownout shedding refused): the client got an
+	// immediate rejection instead of a late timeout. Rejected implies
+	// Dropped; it is a distinct outcome from a timeout drop.
+	Rejected bool
 	// Retries counts fault-triggered re-routes this request survived.
 	Retries int
 	// Failed marks requests abandoned because of hardware faults: the
@@ -73,6 +78,62 @@ func (c *Collector) Completed() int {
 		}
 	}
 	return n
+}
+
+// RejectedCount returns requests fast-failed by admission control or
+// brownout shedding.
+func (c *Collector) RejectedCount() int {
+	n := 0
+	for _, r := range c.records {
+		if r.Rejected {
+			n++
+		}
+	}
+	return n
+}
+
+// TimeoutDropCount returns requests dropped after waiting out a client
+// timeout — drops that are neither fast-fail rejections nor hardware-
+// fault casualties.
+func (c *Collector) TimeoutDropCount() int {
+	n := 0
+	for _, r := range c.records {
+		if r.Dropped && !r.Rejected && !r.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Goodput returns SLO-meeting completions per second over the
+// duration — the overload studies' headline metric: work that arrived
+// late counts for nothing.
+func (c *Collector) Goodput(duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range c.records {
+		if r.SLOHit() {
+			hit++
+		}
+	}
+	return float64(hit) / duration
+}
+
+// GoodputByFunc returns per-function SLO-meeting completions per
+// second.
+func (c *Collector) GoodputByFunc(duration float64) map[int]float64 {
+	out := map[int]float64{}
+	if duration <= 0 {
+		return out
+	}
+	for _, r := range c.records {
+		if r.SLOHit() {
+			out[r.Func] += 1 / duration
+		}
+	}
+	return out
 }
 
 // FailedCount returns requests abandoned because of hardware faults.
@@ -270,6 +331,24 @@ func CDF(sorted []float64, points int) []CDFPoint {
 		})
 	}
 	return out
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) over the
+// values: 1 when all shares are equal, 1/n when one value takes
+// everything. Empty or all-zero input returns 1 (trivially fair).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
 }
 
 // Mean returns the arithmetic mean; NaN for empty input.

@@ -242,3 +242,47 @@ func TestDroppedRecordLatencyNonNegative(t *testing.T) {
 		t.Errorf("dropped latency = %v, want 100", got)
 	}
 }
+
+func TestOverloadOutcomeCounters(t *testing.T) {
+	c := NewCollector()
+	// Served within SLO, served late, fast-fail rejection, timeout
+	// drop, fault casualty.
+	c.Record(RequestRecord{ID: 0, Func: 0, Arrival: 0, Completion: 1, SLO: 2})
+	c.Record(RequestRecord{ID: 1, Func: 0, Arrival: 0, Completion: 5, SLO: 2})
+	c.Record(RequestRecord{ID: 2, Func: 1, Arrival: 0, Completion: 0, SLO: 2, Dropped: true, Rejected: true})
+	c.Record(RequestRecord{ID: 3, Func: 1, Arrival: 0, Completion: 8, SLO: 2, Dropped: true})
+	c.Record(RequestRecord{ID: 4, Func: 1, Arrival: 0, Completion: 3, SLO: 2, Dropped: true, Failed: true})
+
+	if got := c.RejectedCount(); got != 1 {
+		t.Errorf("RejectedCount = %d, want 1", got)
+	}
+	if got := c.TimeoutDropCount(); got != 1 {
+		t.Errorf("TimeoutDropCount = %d, want 1 (rejections and fault casualties excluded)", got)
+	}
+	if got := c.Goodput(10); got != 0.1 {
+		t.Errorf("Goodput = %v, want 0.1 (only the SLO hit counts)", got)
+	}
+	gb := c.GoodputByFunc(10)
+	if gb[0] != 0.1 || gb[1] != 0 {
+		t.Errorf("GoodputByFunc = %v, want func 0 at 0.1 and func 1 absent/zero", gb)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 1 {
+		t.Errorf("JainIndex(nil) = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero JainIndex = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal-share JainIndex = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("winner-takes-all JainIndex = %v, want 1/n = 0.25", got)
+	}
+	// 2:1 split over two flows: (3)^2 / (2*5) = 0.9.
+	if got := JainIndex([]float64{2, 1}); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("2:1 JainIndex = %v, want 0.9", got)
+	}
+}

@@ -1,0 +1,153 @@
+package overload
+
+import (
+	"testing"
+)
+
+// drain pops everything, recording the dequeue order.
+func drain(fq *FairQueue[string], prefer string, grace float64) []string {
+	var out []string
+	for {
+		v, ok := fq.Dequeue(prefer, grace)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// TestFairQueueInterleavesBurst: a flow that bursts n items does not
+// starve a sibling — the sibling's items are served at their fair
+// virtual times, interleaved with the burst.
+func TestFairQueueInterleavesBurst(t *testing.T) {
+	fq := NewFairQueue[string]()
+	for i := 0; i < 6; i++ {
+		fq.Enqueue("bursty", 1, 1, "b")
+	}
+	fq.Enqueue("meek", 1, 1, "m0")
+	fq.Enqueue("meek", 1, 1, "m1")
+	order := drain(fq, "", 0)
+	if len(order) != 8 {
+		t.Fatalf("drained %d items, want 8", len(order))
+	}
+	// meek's items carry start tags 0 and 1; they must both be served
+	// before the burst's third item (start tag 2).
+	for i, v := range order {
+		if v == "m1" && i > 3 {
+			t.Errorf("meek's second item served at position %d; starved by the burst", i)
+		}
+	}
+}
+
+// TestFairQueueBacklogOnlyCharges: a flow idle while others are served
+// re-enters at the current virtual time, not at zero — it cannot bank
+// credit while absent (SFQ's max(vt, lastFinish) start rule).
+func TestFairQueueBacklogOnlyCharges(t *testing.T) {
+	fq := NewFairQueue[string]()
+	for i := 0; i < 4; i++ {
+		fq.Enqueue("a", 1, 1, "a")
+	}
+	for i := 0; i < 3; i++ {
+		fq.Dequeue("", 0) // vt advances to 2
+	}
+	fq.Enqueue("late", 1, 1, "late")
+	// late's start = max(vt=2, 0) = 2 < a's remaining head (start 3):
+	// it is next, but it does not leapfrog what was already served.
+	if v, _ := fq.Dequeue("", 0); v != "late" {
+		t.Errorf("dequeued %q, want the late flow at the current virtual time", v)
+	}
+}
+
+// TestFairQueueStickiness: within the grace the preferred (resident)
+// flow keeps the slice even when a sibling is marginally fairer;
+// beyond it, the sibling wins.
+func TestFairQueueStickiness(t *testing.T) {
+	fq := NewFairQueue[string]()
+	fq.Enqueue("res", 1, 1, "r0") // start 0
+	fq.Enqueue("res", 1, 1, "r1") // start 1
+	fq.Enqueue("sib", 1, 1, "s0") // start 0
+	fq.Dequeue("res", 0.5)        // r0 (tie broken by preference)
+	// Heads now: res at 1, sib at 0. Lead 1 > grace 0.5: sib wins.
+	if v, _ := fq.Dequeue("res", 0.5); v != "s0" {
+		t.Errorf("dequeued %q, want the fair sibling beyond the grace", v)
+	}
+	// With a large grace the resident would have kept the slot.
+	fq2 := NewFairQueue[string]()
+	fq2.Enqueue("res", 1, 1, "r0")
+	fq2.Enqueue("res", 1, 1, "r1")
+	fq2.Enqueue("sib", 1, 1, "s0")
+	fq2.Dequeue("res", 2)
+	if v, _ := fq2.Dequeue("res", 2); v != "r1" {
+		t.Errorf("dequeued %q, want the sticky resident inside the grace", v)
+	}
+}
+
+// TestFairQueueWeights: a weight-2 flow finishes its items in half the
+// virtual time, earning twice the service share.
+func TestFairQueueWeights(t *testing.T) {
+	fq := NewFairQueue[string]()
+	for i := 0; i < 4; i++ {
+		fq.Enqueue("heavy", 2, 1, "h")
+		fq.Enqueue("light", 1, 1, "l")
+	}
+	order := drain(fq, "", 0)
+	heavyFirst := 0
+	for _, v := range order[:6] {
+		if v == "h" {
+			heavyFirst++
+		}
+	}
+	if heavyFirst < 4 {
+		t.Errorf("heavy flow got %d of the first 6 slots, want its full 4", heavyFirst)
+	}
+}
+
+// TestFairQueueFilter removes failing items, returns them in
+// deterministic order, and re-chains survivors so freed virtual time
+// is not charged.
+func TestFairQueueFilter(t *testing.T) {
+	fq := NewFairQueue[int]()
+	for i := 0; i < 4; i++ {
+		fq.Enqueue("a", 1, 1, i) // starts 0..3
+	}
+	fq.Enqueue("b", 1, 1, 100)
+	removed := fq.Filter(func(v int) bool { return v != 0 && v != 1 })
+	if len(removed) != 2 || removed[0] != 0 || removed[1] != 1 {
+		t.Fatalf("removed %v, want [0 1]", removed)
+	}
+	if fq.Len() != 3 || fq.FlowLen("a") != 2 {
+		t.Fatalf("len=%d flow a=%d, want 3 and 2", fq.Len(), fq.FlowLen("a"))
+	}
+	// a's survivors re-chained to starts 0,1: item 2 ties with b's
+	// (start 0) and the lexicographic tie-break picks flow a.
+	if v, _ := fq.Dequeue("", 0); v != 2 {
+		t.Errorf("head after filter = %v, want the re-chained survivor 2", v)
+	}
+}
+
+// TestFairQueueDeterministicTieBreak: equal start tags resolve by flow
+// key, lexicographically.
+func TestFairQueueDeterministicTieBreak(t *testing.T) {
+	fq := NewFairQueue[string]()
+	fq.Enqueue("zeta", 1, 1, "z")
+	fq.Enqueue("alpha", 1, 1, "a")
+	if v, _ := fq.Dequeue("", 0); v != "a" {
+		t.Errorf("dequeued %q, want the lexicographically first flow on a tie", v)
+	}
+}
+
+// TestFairQueueEmpty: dequeue on empty reports false.
+func TestFairQueueEmpty(t *testing.T) {
+	fq := NewFairQueue[int]()
+	if _, ok := fq.Dequeue("", 0); ok {
+		t.Error("dequeue on empty queue reported ok")
+	}
+	fq.Enqueue("a", 1, 1, 1)
+	fq.Clear()
+	if fq.Len() != 0 {
+		t.Error("clear left items behind")
+	}
+	if _, ok := fq.Dequeue("", 0); ok {
+		t.Error("dequeue after clear reported ok")
+	}
+}

@@ -1,0 +1,156 @@
+// Package overload implements the platform's overload-control
+// primitives: the configuration of SLO-aware admission control, an
+// MQFQ-style start-time fair queue for functions sharing a MIG slice
+// (fairqueue.go), and a brownout ladder that maps a node-pressure
+// signal onto progressively stronger degradation levels with
+// hysteresis. The package holds the pure decision logic; the platform
+// owns the queue/instance state and applies the decisions.
+package overload
+
+// Config enables and tunes the overload-control features. The zero
+// value disables all of them, leaving the platform's behaviour
+// untouched.
+type Config struct {
+	// Admission enables SLO-aware admission control at routing: a
+	// request whose estimated completion time (queue depth, load state
+	// and exec profile) exceeds its deadline is rejected immediately
+	// (fast-fail) instead of queued to die of a client timeout.
+	Admission bool
+	// AdmissionSlack scales the completion estimate before comparing it
+	// with the deadline: >1 rejects more aggressively, <1 gives the
+	// estimate the benefit of the doubt (default 1).
+	AdmissionSlack float64
+
+	// FairQueue replaces the deadline-sorted queue of a shared slice
+	// with per-function virtual-time fair queues, so one bursty
+	// function cannot starve co-resident bindings.
+	FairQueue bool
+	// StickyGrace is the virtual-time lead (seconds of virtual service)
+	// the slice's resident function may hold over the globally fairest
+	// flow before it must yield — MQFQ's stickiness, trading a bounded
+	// unfairness for fewer model swaps (default 0.5).
+	StickyGrace float64
+
+	// Brownout enables the degradation ladder driven by the platform's
+	// node-pressure signal.
+	Brownout bool
+	// Enter are the pressure thresholds entering Conserve, Degrade and
+	// Shed (default {1.2, 2.0, 3.0}; pressure 1.0 means the backlog
+	// exactly fills the admission capacity).
+	Enter [3]float64
+	// ExitMargin is subtracted from a level's entry threshold to form
+	// its exit threshold, the hysteresis band (default 0.25).
+	ExitMargin float64
+	// Dwell is the minimum sojourn (s) at a level before the ladder
+	// may de-escalate (default 5).
+	Dwell float64
+}
+
+// Enabled reports whether any overload-control feature is on.
+func (c Config) Enabled() bool { return c.Admission || c.FairQueue || c.Brownout }
+
+// Defaulted fills unset tuning knobs.
+func (c Config) Defaulted() Config {
+	if c.AdmissionSlack <= 0 {
+		c.AdmissionSlack = 1
+	}
+	if c.StickyGrace <= 0 {
+		c.StickyGrace = 0.5
+	}
+	if c.Enter == [3]float64{} {
+		c.Enter = [3]float64{1.2, 2.0, 3.0}
+	}
+	if c.ExitMargin <= 0 {
+		c.ExitMargin = 0.25
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 5
+	}
+	return c
+}
+
+// Level is a rung of the brownout ladder.
+type Level int
+
+// The degradation ladder, mildest first.
+const (
+	// LevelNormal: no degradation.
+	LevelNormal Level = iota
+	// LevelConserve: keep-alive windows shorten so idle capacity
+	// returns to the free pool sooner.
+	LevelConserve
+	// LevelDegrade: cool exclusive instances demote early and oversized
+	// pipelines contract to fewer/smaller slices.
+	LevelDegrade
+	// LevelShed: traffic of the lowest-priority functions is rejected
+	// at arrival.
+	LevelShed
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelConserve:
+		return "conserve"
+	case LevelDegrade:
+		return "degrade"
+	case LevelShed:
+		return "shed"
+	}
+	return "Level(?)"
+}
+
+// Ladder is the brownout state machine: escalation is immediate (a
+// pressure spike must be answered now), de-escalation requires the
+// pressure to fall below the hysteresis band and the level to have
+// been held for the dwell time — so the ladder cannot flap on a noisy
+// signal.
+type Ladder struct {
+	cfg   Config
+	level Level
+	since float64
+}
+
+// NewLadder builds a ladder from the (defaulted) config.
+func NewLadder(cfg Config) *Ladder {
+	return &Ladder{cfg: cfg.Defaulted()}
+}
+
+// Level returns the current rung.
+func (l *Ladder) Level() Level { return l.level }
+
+// Since returns when the current rung was entered.
+func (l *Ladder) Since() float64 { return l.since }
+
+// target maps a pressure value to the rung it calls for.
+func (l *Ladder) target(pressure float64) Level {
+	t := LevelNormal
+	for i, enter := range l.cfg.Enter {
+		if pressure >= enter {
+			t = Level(i + 1)
+		}
+	}
+	return t
+}
+
+// Observe feeds one pressure sample; it returns the transition taken,
+// if any. One call de-escalates at most one rung.
+func (l *Ladder) Observe(now, pressure float64) (from, to Level, changed bool) {
+	from = l.level
+	if t := l.target(pressure); t > l.level {
+		l.level = t
+		l.since = now
+		return from, l.level, true
+	}
+	if l.level > LevelNormal && now-l.since >= l.cfg.Dwell {
+		exit := l.cfg.Enter[l.level-1] - l.cfg.ExitMargin
+		if pressure < exit {
+			l.level--
+			l.since = now
+			return from, l.level, true
+		}
+	}
+	return from, l.level, false
+}

@@ -1,0 +1,85 @@
+package overload
+
+import "testing"
+
+// TestLadderEscalatesImmediately: a pressure spike jumps straight to
+// the rung it calls for, no dwell.
+func TestLadderEscalatesImmediately(t *testing.T) {
+	l := NewLadder(Config{Brownout: true})
+	if from, to, changed := l.Observe(0, 5.0); !changed || from != LevelNormal || to != LevelShed {
+		t.Errorf("Observe(5.0) = %v->%v changed=%v, want normal->shed", from, to, changed)
+	}
+	if l.Level() != LevelShed {
+		t.Errorf("level = %v, want shed", l.Level())
+	}
+}
+
+// TestLadderDeEscalationHysteresis: stepping down needs the pressure
+// below the exit band AND the dwell time served, one rung at a time.
+func TestLadderDeEscalationHysteresis(t *testing.T) {
+	cfg := Config{Brownout: true, Enter: [3]float64{1.0, 2.0, 3.0}, ExitMargin: 0.25, Dwell: 5}
+	l := NewLadder(cfg)
+	l.Observe(0, 2.5) // -> degrade
+
+	// Inside the hysteresis band (>= 2.0-0.25): no step down ever.
+	if _, _, changed := l.Observe(10, 1.9); changed {
+		t.Error("stepped down inside the hysteresis band")
+	}
+	// Below the band but before the dwell: hold.
+	if _, _, changed := l.Observe(3, 0.1); changed {
+		t.Error("stepped down before the dwell expired")
+	}
+	// Below the band, dwell served: one rung only.
+	if from, to, changed := l.Observe(6, 0.1); !changed || from != LevelDegrade || to != LevelConserve {
+		t.Errorf("Observe = %v->%v changed=%v, want degrade->conserve", from, to, changed)
+	}
+	// The next step down needs its own dwell.
+	if _, _, changed := l.Observe(7, 0.1); changed {
+		t.Error("double-stepped down without a fresh dwell")
+	}
+	if from, to, _ := l.Observe(12, 0.1); from != LevelConserve || to != LevelNormal {
+		t.Errorf("final step = %v->%v, want conserve->normal", from, to)
+	}
+}
+
+// TestLadderZeroPressureStaysNormal: the zero signal never leaves
+// normal — the gate for bit-for-bit identical no-pressure runs.
+func TestLadderZeroPressureStaysNormal(t *testing.T) {
+	l := NewLadder(Config{Brownout: true})
+	for now := 0.0; now < 100; now++ {
+		if _, _, changed := l.Observe(now, 0); changed || l.Level() != LevelNormal {
+			t.Fatalf("ladder left normal on zero pressure at t=%v", now)
+		}
+	}
+}
+
+// TestConfigDefaulted fills only unset knobs.
+func TestConfigDefaulted(t *testing.T) {
+	c := Config{}.Defaulted()
+	if c.AdmissionSlack != 1 || c.StickyGrace != 0.5 || c.Dwell != 5 || c.ExitMargin != 0.25 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.Enter != [3]float64{1.2, 2.0, 3.0} {
+		t.Errorf("unexpected default thresholds: %v", c.Enter)
+	}
+	if c.Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	keep := Config{AdmissionSlack: 2, Enter: [3]float64{9, 10, 11}}.Defaulted()
+	if keep.AdmissionSlack != 2 || keep.Enter[0] != 9 {
+		t.Error("Defaulted overwrote explicit knobs")
+	}
+}
+
+// TestLevelString names every rung.
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{
+		LevelNormal: "normal", LevelConserve: "conserve",
+		LevelDegrade: "degrade", LevelShed: "shed",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(l), l.String(), s)
+		}
+	}
+}

@@ -17,6 +17,9 @@ import (
 // scale-up).
 func (p *Platform) route(rq *request) {
 	fn := rq.fn
+	if p.opts.Overload.Enabled() && p.admissionReject(rq) {
+		return
+	}
 	for _, inst := range p.routedInstances(fn) {
 		if inst.hasCapacity() {
 			inst.admit(p, rq)
@@ -91,9 +94,9 @@ func (p *Platform) pickInvokerForTS(fn *Function) *Invoker {
 		if !inv.node.Healthy() {
 			continue
 		}
-		if ss := inv.pickSharedSlice(fn); ss != nil && len(ss.queue) < bestQ {
+		if ss := inv.pickSharedSlice(fn); ss != nil && ss.qlen() < bestQ {
 			best = inv
-			bestQ = len(ss.queue)
+			bestQ = ss.qlen()
 		}
 	}
 	if best != nil {
@@ -110,9 +113,11 @@ func (p *Platform) pickInvokerForTS(fn *Function) *Invoker {
 	return best
 }
 
-// controlTick is the controller loop: autoscale up, manage keep-alive
-// states, maintain the time-sharing pools, drop hopeless requests.
+// controlTick is the controller loop: sample pressure and advance the
+// brownout ladder, autoscale up, manage keep-alive states, maintain
+// the time-sharing pools, drop hopeless requests.
 func (p *Platform) controlTick() {
+	p.brownoutTick()
 	p.scaleUp()
 	p.manageKeepAlive()
 	for _, inv := range p.inv {
@@ -133,7 +138,12 @@ func (p *Platform) scaleUp() {
 			continue
 		}
 		want := 0
-		if len(fn.pending) > 0 {
+		// Admission fast-fails are demand too: without counting them, a
+		// function whose whole overflow is rejected at arrival would
+		// never trigger scale-up. Zero when admission control is off.
+		demand := len(fn.pending) + fn.rejectDemand
+		fn.rejectDemand = 0
+		if demand > 0 {
 			// An overloaded but not-hot time-sharing function gets more
 			// pool slices, not an exclusive instance (§5.3: "the number
 			// of MIG slices allocated to time sharing state instances
@@ -144,21 +154,23 @@ func (p *Platform) scaleUp() {
 					// overflow waits it out (launching now would just
 					// pay a second cold start); only clear demand
 					// (several requests' worth) scales up in parallel.
-					if len(fn.pending) <= 2 {
+					if demand <= 2 {
 						continue
 					}
 				} else {
 					// Overloaded but not hot: grow the pool (§5.3).
 					// rebindToFreshSlice drains pending itself.
+					before := len(fn.pending)
 					fn.ts.shared.inv.rebindToFreshSlice(fn)
-					if len(fn.pending) == 0 {
+					demand -= before - len(fn.pending)
+					if demand <= 0 {
 						continue
 					}
 					// Pool growth was insufficient; fall through to
 					// exclusive scale-up.
 				}
 			}
-			want = int(math.Ceil(float64(len(fn.pending)) / float64(fn.bestCapacity(p.opts.QueueSlack))))
+			want = int(math.Ceil(float64(demand) / float64(fn.bestCapacity(p.opts.QueueSlack))))
 			if want > 4 {
 				want = 4
 			}
@@ -245,12 +257,12 @@ func (p *Platform) manageKeepAlive() {
 				continue
 			}
 			if p.opts.Policy.TimeSharing() {
-				if inst.tracker.IdleFor(now) >= p.opts.IdleDemote &&
+				if inst.tracker.IdleFor(now) >= p.effIdleDemote() &&
 					!inst.tracker.IsHot(now) {
 					p.demote(inst)
 				}
 			} else {
-				if inst.tracker.IdleFor(now) >= p.opts.KeepAlive {
+				if inst.tracker.IdleFor(now) >= p.effKeepAlive() {
 					p.releaseInstance(inst)
 				}
 			}
@@ -297,7 +309,7 @@ func (inv *Invoker) maintainPool() {
 			if b.outstanding > 0 {
 				continue
 			}
-			if b.tracker.IdleFor(now) >= p.opts.KeepAlive {
+			if b.tracker.IdleFor(now) >= p.effKeepAlive() {
 				if b.state.State() == keepalive.TimeSharing {
 					if err := b.state.To(keepalive.Warm); err != nil {
 						panic(err)
@@ -310,7 +322,7 @@ func (inv *Invoker) maintainPool() {
 				inv.unbind(b)
 			}
 		}
-		if len(ss.bindings) == 0 && !ss.busy && len(ss.queue) == 0 {
+		if len(ss.bindings) == 0 && !ss.busy && ss.qlen() == 0 {
 			// unbind may already have released it; check membership.
 			for _, cur := range inv.shared {
 				if cur == ss {
@@ -323,7 +335,10 @@ func (inv *Invoker) maintainPool() {
 }
 
 // dropStalePending abandons requests whose wait exceeds PendingDrop
-// SLOs; they are recorded as drops (SLO misses).
+// SLOs; they are recorded as drops (SLO misses). Both waiting places
+// are swept: the per-function pending overflow and the time-sharing
+// slice queues — a request parked behind a busy shared slice times out
+// just like one that never found a slice.
 func (p *Platform) dropStalePending() {
 	now := p.eng.Now()
 	for _, fn := range p.funcs {
@@ -341,6 +356,13 @@ func (p *Platform) dropStalePending() {
 			keep = append(keep, rq)
 		}
 		fn.pending = keep
+	}
+	for _, inv := range p.inv {
+		for _, ss := range inv.shared {
+			for _, b := range ss.dropStale(p, now) {
+				p.onTSSlack(b)
+			}
+		}
 	}
 }
 

@@ -38,6 +38,16 @@ const (
 	// EvRetry: an in-flight request lost its hardware and was re-routed
 	// with backoff.
 	EvRetry
+	// EvReject: admission control fast-failed a request at arrival (its
+	// estimated completion could not meet the deadline).
+	EvReject
+	// EvShed: brownout shedding refused a low-priority request.
+	EvShed
+	// EvBrownout: the degradation ladder changed level.
+	EvBrownout
+	// EvContract: a pipelined instance was contracted to a smaller
+	// footprint under brownout.
+	EvContract
 )
 
 // String names the event kind.
@@ -69,6 +79,14 @@ func (k EventKind) String() string {
 		return "recover"
 	case EvRetry:
 		return "retry"
+	case EvReject:
+		return "reject"
+	case EvShed:
+		return "shed"
+	case EvBrownout:
+		return "brownout"
+	case EvContract:
+		return "contract"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

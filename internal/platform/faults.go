@@ -198,11 +198,11 @@ func (p *Platform) failShared(ss *sharedSlice) {
 		rqs = append(rqs, ss.serving.rq)
 		ss.serving = nil
 	}
-	for _, job := range ss.queue {
+	for _, job := range ss.drainJobs() {
 		rqs = append(rqs, job.rq)
 	}
-	ss.queue = nil
 	ss.busy = false
+	ss.servingWork = 0
 
 	names := make([]string, 0, len(ss.bindings))
 	for name := range ss.bindings {

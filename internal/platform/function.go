@@ -33,6 +33,12 @@ type Function struct {
 	lastNodeUse map[int]float64
 
 	rrNext int // round-robin cursor for the routing ablation
+
+	// rejectDemand counts admission rejections since the last scale-up
+	// pass. Rejected requests never reach fn.pending, but they are still
+	// demand — without this, a cold function whose whole first wave
+	// fast-fails would never trigger scale-up and reject forever.
+	rejectDemand int
 }
 
 func newFunction(spec FunctionSpec) *Function {

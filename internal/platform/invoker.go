@@ -7,6 +7,7 @@ import (
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/overload"
 )
 
 // Invoker is the per-node runtime: it owns the node's time-sharing slice
@@ -43,7 +44,10 @@ type tsJob struct {
 	rq *request
 	b  *tsBinding
 	// priority = deadline - estimated execution - estimated load (§5.3).
-	priority   float64
+	priority float64
+	// service is the job's estimated execution time, the fair queue's
+	// currency and the admission estimator's backlog unit.
+	service    float64
 	enqueuedAt float64
 }
 
@@ -57,13 +61,84 @@ type sharedSlice struct {
 	lru      *keepalive.LRU
 	bindings map[string]*tsBinding // keyed by function name
 	queue    []*tsJob
-	busy     bool
+	// fair replaces queue when overload fair queueing is enabled:
+	// per-function virtual-time flows so one bursty function cannot
+	// starve co-resident bindings (MQFQ-style).
+	fair *overload.FairQueue[*tsJob]
+	// queuedWork and servingWork track the backlog in estimated
+	// execution seconds, feeding the admission estimator.
+	queuedWork  float64
+	servingWork float64
+	busy        bool
 	// serving is the job in service while busy, so a fault can retry
 	// exactly the request that was running.
 	serving *tsJob
 	// failed marks a pool slice torn down by a hardware fault: stale
 	// engine events referencing it become no-ops.
 	failed bool
+}
+
+// newSharedSlice builds a pool slice, with a fair queue when the
+// overload subsystem asks for one.
+func newSharedSlice(inv *Invoker, sl *mig.Slice) *sharedSlice {
+	ss := &sharedSlice{
+		inv:      inv,
+		slice:    sl,
+		lru:      keepalive.NewLRU(),
+		bindings: make(map[string]*tsBinding),
+	}
+	if inv.p.opts.Overload.FairQueue {
+		ss.fair = overload.NewFairQueue[*tsJob]()
+	}
+	return ss
+}
+
+// qlen is the queued-job count, whichever discipline holds them.
+func (ss *sharedSlice) qlen() int {
+	if ss.fair != nil {
+		return ss.fair.Len()
+	}
+	return len(ss.queue)
+}
+
+// pop removes the next job to serve: the fair queue's pick (sticky to
+// the resident function, avoiding swap thrash) or the deadline-ordered
+// head. Nil when empty.
+func (ss *sharedSlice) pop() *tsJob {
+	var job *tsJob
+	if ss.fair != nil {
+		prefer := ""
+		if ss.resident != nil {
+			prefer = ss.resident.fn.spec.Name
+		}
+		j, ok := ss.fair.Dequeue(prefer, ss.inv.p.opts.Overload.StickyGrace)
+		if !ok {
+			return nil
+		}
+		job = j
+	} else {
+		if len(ss.queue) == 0 {
+			return nil
+		}
+		job = ss.queue[0]
+		ss.queue = ss.queue[1:]
+	}
+	ss.queuedWork -= job.service
+	return job
+}
+
+// drainJobs empties the queue for teardown, deterministic order.
+func (ss *sharedSlice) drainJobs() []*tsJob {
+	var jobs []*tsJob
+	if ss.fair != nil {
+		jobs = ss.fair.Items()
+		ss.fair.Clear()
+	} else {
+		jobs = ss.queue
+		ss.queue = nil
+	}
+	ss.queuedWork = 0
+	return jobs
 }
 
 // sharedOwner is the slice-owner tag of pool slices.
@@ -132,12 +207,7 @@ func (inv *Invoker) adoptShared(sl *mig.Slice, fn *Function) *tsBinding {
 	now := inv.p.eng.Now()
 	sl.Release(now)
 	sl.Allocate(inv.sharedOwner(), now)
-	ss := &sharedSlice{
-		inv:      inv,
-		slice:    sl,
-		lru:      keepalive.NewLRU(),
-		bindings: make(map[string]*tsBinding),
-	}
+	ss := newSharedSlice(inv, sl)
 	inv.shared = append(inv.shared, ss)
 	b := &tsBinding{
 		fn:         fn,
@@ -170,7 +240,7 @@ func (inv *Invoker) pickSharedSlice(fn *Function) *sharedSlice {
 		if _, ok := fn.monoExec[ss.slice.Type]; !ok {
 			continue
 		}
-		if best == nil || len(ss.queue) < len(best.queue) {
+		if best == nil || ss.qlen() < best.qlen() {
 			best = ss
 		}
 	}
@@ -195,12 +265,7 @@ func (inv *Invoker) growPool(fn *Function) *sharedSlice {
 		return nil
 	}
 	pick.Allocate(inv.sharedOwner(), now)
-	ss := &sharedSlice{
-		inv:      inv,
-		slice:    pick,
-		lru:      keepalive.NewLRU(),
-		bindings: make(map[string]*tsBinding),
-	}
+	ss := newSharedSlice(inv, pick)
 	inv.shared = append(inv.shared, ss)
 	inv.p.logEvent(EvPoolGrow, pick.ID(), "")
 	return ss
@@ -248,7 +313,7 @@ func (inv *Invoker) reclaimIdle() int {
 	now := inv.p.eng.Now()
 	shared := append([]*sharedSlice(nil), inv.shared...)
 	for _, ss := range shared {
-		if ss.busy || len(ss.queue) > 0 {
+		if ss.busy || ss.qlen() > 0 {
 			continue
 		}
 		idle := true
@@ -323,8 +388,11 @@ func (inv *Invoker) siblingSlice(not *sharedSlice, b *tsBinding) *sharedSlice {
 	return nil
 }
 
-// enqueue admits a request to the binding's shared slice, ordered by
-// deadline minus estimated execution and load times (§5.3).
+// enqueue admits a request to the binding's shared slice: into the
+// per-function fair queue when overload fair queueing is on, else the
+// single queue ordered by deadline minus estimated execution and load
+// times (§5.3). The ordered insert is a binary search — re-sorting the
+// whole queue on every arrival was O(n log n) per request.
 func (ss *sharedSlice) enqueue(p *Platform, b *tsBinding, rq *request) {
 	b.outstanding++
 	rq.snapshot()
@@ -333,22 +401,31 @@ func (ss *sharedSlice) enqueue(p *Platform, b *tsBinding, rq *request) {
 		rq:         rq,
 		b:          b,
 		priority:   rq.deadline - b.execOn() - b.estLoad(),
+		service:    b.execOn(),
 		enqueuedAt: p.eng.Now(),
 	}
-	ss.queue = append(ss.queue, job)
-	sort.SliceStable(ss.queue, func(i, j int) bool {
-		return ss.queue[i].priority < ss.queue[j].priority
-	})
+	ss.queuedWork += job.service
+	if ss.fair != nil {
+		ss.fair.Enqueue(b.fn.spec.Name, 1, job.service, job)
+	} else {
+		// Upper bound keeps equal-priority jobs in arrival order, the
+		// exact order the stable sort produced.
+		i := sort.Search(len(ss.queue), func(i int) bool {
+			return ss.queue[i].priority > job.priority
+		})
+		ss.queue = append(ss.queue, nil)
+		copy(ss.queue[i+1:], ss.queue[i:])
+		ss.queue[i] = job
+	}
 	ss.kick(p)
 }
 
 // kick starts serving if the slice is idle.
 func (ss *sharedSlice) kick(p *Platform) {
-	if ss.failed || ss.busy || len(ss.queue) == 0 {
+	if ss.failed || ss.busy || ss.qlen() == 0 {
 		return
 	}
-	job := ss.queue[0]
-	ss.queue = ss.queue[1:]
+	job := ss.pop()
 	ss.busy = true
 	ss.serving = job
 	b := job.b
@@ -373,6 +450,7 @@ func (ss *sharedSlice) kick(p *Platform) {
 	exec := b.execOn()
 	job.rq.rec.Load += load
 	job.rq.rec.Exec += exec
+	ss.servingWork = load + exec
 	ss.lru.Touch(b.fn.spec.Name)
 	ss.slice.SetActive(true, now)
 	p.eng.After(load+exec, func() {
@@ -383,6 +461,7 @@ func (ss *sharedSlice) kick(p *Platform) {
 		}
 		end := p.eng.Now()
 		ss.serving = nil
+		ss.servingWork = 0
 		ss.slice.SetActive(false, end)
 		// The model is fully fetched only now; the host copy makes
 		// later loads warm (for this binding and for exclusive
@@ -433,7 +512,7 @@ func (inv *Invoker) unbind(b *tsBinding) {
 	}
 	b.fn.ts = nil
 	// Release empty pool slices so exclusive instances can use them.
-	if len(ss.bindings) == 0 && !ss.busy && len(ss.queue) == 0 {
+	if len(ss.bindings) == 0 && !ss.busy && ss.qlen() == 0 {
 		inv.releaseShared(ss)
 	}
 }
@@ -452,6 +531,53 @@ func (inv *Invoker) releaseShared(ss *sharedSlice) {
 	if inv.p.opts.Policy.Migration() {
 		inv.p.tryMigration(ss.slice)
 	}
+}
+
+// dropStale sheds queued time-sharing jobs whose wait exceeds the
+// client timeout. They are recorded exactly like stale pending drops —
+// before this sweep, a timed-out request stuck behind a congested
+// shared slice was never dropped at all. Returns the bindings whose
+// capacity the sweep freed, so the caller can drain pending overflow
+// into them.
+func (ss *sharedSlice) dropStale(p *Platform, now float64) []*tsBinding {
+	stale := func(job *tsJob) bool {
+		slo := job.rq.fn.spec.SLO
+		return slo > 0 && now-job.rq.arrival > p.opts.PendingDrop*slo
+	}
+	var dropped []*tsJob
+	if ss.fair != nil {
+		dropped = ss.fair.Filter(func(j *tsJob) bool { return !stale(j) })
+	} else {
+		keep := ss.queue[:0]
+		for _, j := range ss.queue {
+			if stale(j) {
+				dropped = append(dropped, j)
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		ss.queue = keep
+	}
+	var freed []*tsBinding
+	for _, j := range dropped {
+		ss.queuedWork -= j.service
+		j.b.outstanding--
+		j.rq.rec.Dropped = true
+		j.rq.rec.Completion = now
+		p.logEvent(EvDrop, j.rq.fn.spec.Name, "time-sharing queue past the client timeout")
+		p.record(j.rq.rec)
+		seen := false
+		for _, b := range freed {
+			if b == j.b {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			freed = append(freed, j.b)
+		}
+	}
+	return freed
 }
 
 // onTSSlack drains pending requests into the binding after a completion.
@@ -511,11 +637,16 @@ func (p *Platform) tryMigration(freed *mig.Slice) {
 	node := p.nodeOf(freed)
 	load := p.loadTimeFor(bestFn, node, now)
 	newInst := p.launchInstance(bestFn, node, plan, []*mig.Slice{freed}, load)
-	_ = newInst
 	bestInst.migrating = true
 	bestInst.retiring = true
 	p.migrated++
 	p.logEvent(EvMigrate, bestInst.id, "replaced by monolithic on "+freed.ID())
+	// The fresh monolith absorbs the function's pending overflow right
+	// away — discarding it stranded those requests until the next
+	// completion or control tick.
+	for len(bestFn.pending) > 0 && newInst.hasCapacity() {
+		newInst.admit(p, bestFn.popPending())
+	}
 	if bestInst.outstanding == 0 {
 		p.releaseInstance(bestInst)
 	}

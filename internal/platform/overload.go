@@ -1,0 +1,289 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/overload"
+	"fluidfaas/internal/pipeline"
+)
+
+// This file integrates the overload-control subsystem
+// (internal/overload) with the platform: SLO-aware admission at route,
+// the node-pressure signal feeding the brownout ladder, and the
+// ladder's effects — shortened keep-alive windows, early demotion,
+// pipeline contraction, and priority shedding. Everything here is a
+// no-op when the corresponding opts.Overload feature is off, keeping
+// feature-off runs bit-for-bit identical.
+
+// admissionReject decides whether rq is turned away at arrival. Shed
+// rejections (brownout) are checked first, then the SLO-aware
+// completion estimate. Returns true when the request was rejected and
+// recorded.
+func (p *Platform) admissionReject(rq *request) bool {
+	oc := p.opts.Overload
+	fn := rq.fn
+	if oc.Brownout && p.ladder.Level() >= overload.LevelShed &&
+		fn.spec.Priority < p.maxPriority {
+		p.shed++
+		p.reject(rq, EvShed, fmt.Sprintf("brownout %s: priority %d below %d",
+			p.ladder.Level(), fn.spec.Priority, p.maxPriority))
+		return true
+	}
+	if !oc.Admission || fn.spec.SLO <= 0 {
+		return false
+	}
+	est := p.completionEstimate(fn)
+	if p.eng.Now()+est*oc.AdmissionSlack > rq.deadline {
+		// Rejections are still demand: autoscaling must see them, or a
+		// cold function whose whole first wave fast-fails never scales
+		// up and rejects forever.
+		fn.rejectDemand++
+		p.kickScaleUp()
+		p.reject(rq, EvReject, fmt.Sprintf("estimated completion %.3fs past deadline", est))
+		return true
+	}
+	return false
+}
+
+// reject fast-fails a request at arrival: the record carries the
+// rejection instant as its completion, so fast-fail latency is bounded
+// (zero wait) and distinct from a timeout drop.
+func (p *Platform) reject(rq *request, kind EventKind, reason string) {
+	rq.rec.Dropped = true
+	rq.rec.Rejected = true
+	rq.rec.Completion = p.eng.Now()
+	p.rejected++
+	p.logEvent(kind, rq.fn.spec.Name, reason)
+	p.record(rq.rec)
+}
+
+// completionEstimate is the optimistic end-to-end estimate for a new
+// request of fn, mirroring the routing order: the best exclusive
+// instance with capacity, else the time-sharing binding's queue, else
+// the scale-up path (a fresh instance plus the pending backlog ahead).
+func (p *Platform) completionEstimate(fn *Function) float64 {
+	now := p.eng.Now()
+	best := math.Inf(1)
+	for _, inst := range fn.instances {
+		if !inst.hasCapacity() {
+			continue
+		}
+		wait := inst.loadEndsAt - now
+		if wait < 0 {
+			wait = 0
+		}
+		est := wait + float64(inst.outstanding)*inst.plan.Bottleneck + inst.plan.Latency
+		if est < best {
+			best = est
+		}
+	}
+	if b := fn.ts; b != nil && b.outstanding < b.capacity {
+		ss := b.shared
+		est := ss.queuedWork + ss.servingWork + b.estLoad() + b.execOn()
+		if est < best {
+			best = est
+		}
+	}
+	if !math.IsInf(best, 1) {
+		return best
+	}
+	// Scale-up path: a new instance must load and then chew through
+	// the backlog ahead of this request. Optimistic about parallelism
+	// (scale-up launches up to 4 instances a pass).
+	exec := fn.bestExec()
+	load := keepalive.ColdStartTime(fn.memGB)
+	for _, last := range fn.lastNodeUse {
+		if now-last < p.opts.KeepAlive {
+			load = keepalive.WarmLoadTime(fn.memGB)
+			break
+		}
+	}
+	ahead := len(fn.pending)
+	par := 4 * fn.bestCapacity(p.opts.QueueSlack)
+	waves := float64(ahead / par)
+	return load + exec + waves*exec
+}
+
+// bestExec is the function's fastest monolithic service time (its
+// cheapest plan latency when it cannot run monolithically anywhere).
+func (fn *Function) bestExec() float64 {
+	best := math.Inf(1)
+	for _, e := range fn.monoExec {
+		if e < best {
+			best = e
+		}
+	}
+	if math.IsInf(best, 1) {
+		best = fn.spec.SLO
+	}
+	return best
+}
+
+// pressure is the node-pressure signal driving the brownout ladder:
+// admitted plus pending demand over total admission capacity. 1.0
+// means the backlog exactly fills what the deployed instances can
+// admit; above that, requests are pending with nowhere to go. A
+// platform with no capacity yet reports zero (it has not scaled up,
+// not melted down).
+func (p *Platform) pressure() float64 {
+	capacity, load := 0, 0
+	for _, fn := range p.funcs {
+		load += len(fn.pending)
+		for _, inst := range fn.instances {
+			if inst.retiring {
+				continue
+			}
+			capacity += inst.capacity
+			load += inst.outstanding
+		}
+		if fn.ts != nil {
+			capacity += fn.ts.capacity
+			load += fn.ts.outstanding
+		}
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(load) / float64(capacity)
+}
+
+// brownoutTick samples pressure, advances the ladder, and applies the
+// Degrade rung's contraction. Called from the control loop.
+func (p *Platform) brownoutTick() {
+	if !p.opts.Overload.Brownout {
+		return
+	}
+	now := p.eng.Now()
+	p.lastPressure = p.pressure()
+	if from, to, changed := p.ladder.Observe(now, p.lastPressure); changed {
+		p.logEvent(EvBrownout, fmt.Sprintf("%s -> %s", from, to),
+			fmt.Sprintf("pressure %.2f", p.lastPressure))
+	}
+	if p.ladder.Level() >= overload.LevelDegrade {
+		p.contractPipelined()
+	}
+}
+
+// Brownout keep-alive scaling per rung: under pressure, idle capacity
+// must return to the free pool sooner. Indexed by overload.Level.
+var (
+	brownoutKeepAliveScale  = [4]float64{1, 0.25, 0.1, 0.05}
+	brownoutIdleDemoteScale = [4]float64{1, 0.5, 0.25, 0.1}
+)
+
+// effKeepAlive is the keep-alive window after brownout scaling.
+func (p *Platform) effKeepAlive() float64 {
+	if !p.opts.Overload.Brownout {
+		return p.opts.KeepAlive
+	}
+	return p.opts.KeepAlive * brownoutKeepAliveScale[p.ladder.Level()]
+}
+
+// effIdleDemote is the demotion idle threshold after brownout scaling.
+func (p *Platform) effIdleDemote() float64 {
+	if !p.opts.Overload.Brownout {
+		return p.opts.IdleDemote
+	}
+	return p.opts.IdleDemote * brownoutIdleDemoteScale[p.ladder.Level()]
+}
+
+// contractPipelined is the Degrade rung's action: take the pipelined
+// instance with the largest GPC footprint and replace it with a
+// smaller deployment built from the node's free slices — monolithic on
+// the smallest feasible slice, else a smaller pipeline from the
+// CV-ranked partition list. The old instance drains and releases its
+// slices; one contraction per control tick bounds the churn.
+func (p *Platform) contractPipelined() {
+	now := p.eng.Now()
+	var worst *Instance
+	for _, fn := range p.funcs {
+		for _, inst := range fn.instances {
+			if !inst.Pipelined() || inst.retiring || inst.migrating || inst.failed {
+				continue
+			}
+			if worst == nil || inst.plan.GPCs() > worst.plan.GPCs() ||
+				(inst.plan.GPCs() == worst.plan.GPCs() && inst.id < worst.id) {
+				worst = inst
+			}
+		}
+	}
+	if worst == nil {
+		return
+	}
+	fn := worst.fn
+	free := worst.node.FreeSlices(now)
+
+	// Monolithic on the smallest free slice that fits under the SLO.
+	var plan pipeline.Plan
+	var slices []*mig.Slice
+	found := false
+	for _, sl := range free {
+		if sl.Type.GPCs() >= worst.plan.GPCs() {
+			continue // must shrink the footprint
+		}
+		exec, ok := fn.monoExec[sl.Type]
+		if !ok || fn.memGB > float64(sl.Type.MemGB()) ||
+			fn.spec.DAG.MonoMinGPCs > sl.Type.GPCs() {
+			continue
+		}
+		if fn.spec.SLO > 0 && exec > fn.spec.SLO {
+			continue
+		}
+		if found && sl.Type >= slices[0].Type {
+			continue
+		}
+		pl, err := monoPlan(fn, sl.Type)
+		if err != nil {
+			continue
+		}
+		plan, slices, found = pl, []*mig.Slice{sl}, true
+	}
+	if !found {
+		// Smaller pipeline over the free slices (the CV-ranked
+		// enumerator's construction, reused).
+		types := make([]mig.SliceType, len(free))
+		for i, sl := range free {
+			types[i] = sl.Type
+		}
+		pl, _, err := pipeline.Construct(fn.spec.DAG, fn.spec.Parts, types, fn.spec.SLO)
+		if err == nil && pl.GPCs() < worst.plan.GPCs() {
+			slices = make([]*mig.Slice, len(pl.Stages))
+			ok := true
+			used := map[*mig.Slice]bool{}
+			for i, sp := range pl.Stages {
+				slices[i] = nil
+				for _, sl := range free {
+					if sl.Type == sp.SliceType && !used[sl] {
+						slices[i], used[sl] = sl, true
+						break
+					}
+				}
+				if slices[i] == nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				plan, found = pl, true
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	load := p.loadTimeFor(fn, worst.node, now)
+	repl := p.launchInstance(fn, worst.node, plan, slices, load)
+	worst.retiring = true
+	p.contractions++
+	p.logEvent(EvContract, worst.id,
+		fmt.Sprintf("contracted %d->%d GPCs into %s", worst.plan.GPCs(), plan.GPCs(), repl.id))
+	for len(fn.pending) > 0 && repl.hasCapacity() {
+		repl.admit(p, fn.popPending())
+	}
+	if worst.outstanding == 0 {
+		p.releaseInstance(worst)
+	}
+}

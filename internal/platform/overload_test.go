@@ -1,0 +1,475 @@
+package platform
+
+import (
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/metrics"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/overload"
+	"fluidfaas/internal/pipeline"
+	"fluidfaas/internal/scheduler"
+)
+
+// TestOverloadOffBitForBit: setting overload tuning knobs without
+// enabling any feature must leave the simulation bit-for-bit identical
+// to a run with no overload config at all.
+func TestOverloadOffBitForBit(t *testing.T) {
+	run := func(oc overload.Config) *Platform {
+		specs := specsFor(t, dnn.Medium)
+		cl := cluster.New(cluster.DefaultSpec())
+		p := New(cl, specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 42, Overload: oc})
+		tr := flatTrace(specs, 8, 120, 42)
+		p.Run(tr, 60)
+		return p
+	}
+	a := run(overload.Config{})
+	b := run(overload.Config{
+		// Tuning knobs without the feature flags: all must be inert.
+		AdmissionSlack: 2, StickyGrace: 3,
+		Enter: [3]float64{0.1, 0.2, 0.3}, ExitMargin: 0.05, Dwell: 1,
+	})
+	ra, rb := a.Collector().Records(), b.Collector().Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, ra[i], rb[i])
+		}
+	}
+	if a.Launched() != b.Launched() || a.Evictions() != b.Evictions() ||
+		a.Migrations() != b.Migrations() {
+		t.Error("platform counters differ with inert overload knobs")
+	}
+	if b.Rejected() != 0 || b.ShedCount() != 0 || b.Contractions() != 0 {
+		t.Error("overload actions fired with all features disabled")
+	}
+	if b.BrownoutLevel() != overload.LevelNormal {
+		t.Errorf("brownout level = %v with brownout disabled", b.BrownoutLevel())
+	}
+}
+
+// TestAdmissionFastFail: under sustained overload, admission control
+// fast-fails requests at arrival (bounded rejection latency) instead of
+// letting them die of client timeouts, and the system still serves
+// traffic (rejections count as scale-up demand).
+func TestAdmissionFastFail(t *testing.T) {
+	specs := specsFor(t, dnn.Small)
+	p := New(smallCluster(1), specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 7,
+		Overload: overload.Config{Admission: true},
+	})
+	tr := flatTrace(specs, 25, 90, 7)
+	p.Run(tr, 60)
+	col := p.Collector()
+	if col.RejectedCount() == 0 {
+		t.Fatal("no fast-fail rejections under 25 rps/function on one GPU")
+	}
+	if p.Rejected() != col.RejectedCount() {
+		t.Errorf("platform rejected counter %d != collector %d",
+			p.Rejected(), col.RejectedCount())
+	}
+	for i, r := range col.Records() {
+		if !r.Rejected {
+			continue
+		}
+		if !r.Dropped {
+			t.Fatalf("record %d rejected but not dropped", i)
+		}
+		if r.Latency() != 0 {
+			t.Fatalf("record %d: fast-fail latency %.3f, want 0 (rejected at arrival)",
+				i, r.Latency())
+		}
+	}
+	if col.Completed() == 0 {
+		t.Error("admission rejected everything: reject demand did not drive scale-up")
+	}
+	if p.CountEvents()[EvReject] == 0 {
+		t.Error("no reject events logged")
+	}
+}
+
+// TestBrownoutShedPriority: at the Shed rung only sub-maximum-priority
+// traffic is refused; the highest class always passes.
+func TestBrownoutShedPriority(t *testing.T) {
+	specs := specsFor(t, dnn.Small)[:2]
+	specs[0].Priority = 0
+	specs[1].Priority = 1
+	p := New(smallCluster(1), specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 3,
+		Overload: overload.Config{Brownout: true},
+	})
+	// Force the ladder straight to Shed.
+	p.ladder.Observe(0, 100)
+	if p.BrownoutLevel() != overload.LevelShed {
+		t.Fatalf("ladder at %v after pressure 100", p.BrownoutLevel())
+	}
+	mkReq := func(id int, fn *Function) *request {
+		return &request{
+			id: id, fn: fn, deadline: fn.spec.SLO,
+			rec: metrics.RequestRecord{ID: id, Func: fn.spec.ID, SLO: fn.spec.SLO},
+		}
+	}
+	p.route(mkReq(0, p.funcs[0]))
+	p.route(mkReq(1, p.funcs[1]))
+	if p.ShedCount() != 1 {
+		t.Fatalf("shed = %d, want exactly the low-priority request", p.ShedCount())
+	}
+	recs := p.Collector().Records()
+	if len(recs) != 1 || !recs[0].Rejected || recs[0].Func != 0 {
+		t.Errorf("shed records = %+v, want one rejection of function 0", recs)
+	}
+	if p.funcs[1].ts == nil && len(p.funcs[1].pending) == 0 {
+		t.Error("high-priority request vanished instead of being served")
+	}
+	if p.CountEvents()[EvShed] != 1 {
+		t.Error("shed event not logged")
+	}
+}
+
+// TestBrownoutEffectiveWindows: keep-alive and demotion windows shrink
+// as the ladder escalates, and revert exactly when brownout is off.
+func TestBrownoutEffectiveWindows(t *testing.T) {
+	specs := specsFor(t, dnn.Small)[:1]
+	on := New(smallCluster(1), specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 3,
+		Overload: overload.Config{Brownout: true},
+	})
+	off := New(smallCluster(1), specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 3})
+	if on.effKeepAlive() != on.opts.KeepAlive || on.effIdleDemote() != on.opts.IdleDemote {
+		t.Error("windows scaled at LevelNormal")
+	}
+	prevKA, prevID := on.effKeepAlive(), on.effIdleDemote()
+	for _, pr := range []float64{1.3, 2.1, 3.5} {
+		on.ladder.Observe(0, pr)
+		ka, id := on.effKeepAlive(), on.effIdleDemote()
+		if ka >= prevKA || id >= prevID {
+			t.Errorf("windows did not shrink entering %v: keepalive %v->%v demote %v->%v",
+				on.BrownoutLevel(), prevKA, ka, prevID, id)
+		}
+		prevKA, prevID = ka, id
+	}
+	// Even at a forced high rung, a brownout-disabled platform never
+	// scales its windows.
+	off.ladder.Observe(0, 100)
+	if off.effKeepAlive() != off.opts.KeepAlive || off.effIdleDemote() != off.opts.IdleDemote {
+		t.Error("windows scaled with brownout disabled")
+	}
+}
+
+// TestBrownoutLadderEngages: a heavy burst drives pressure up; the
+// ladder must leave Normal and log its transitions.
+func TestBrownoutLadderEngages(t *testing.T) {
+	specs := specsFor(t, dnn.Small)
+	for i := range specs {
+		specs[i].Priority = i
+	}
+	p := New(smallCluster(1), specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 11,
+		Overload: overload.Config{Brownout: true},
+	})
+	tr := flatTrace(specs, 30, 60, 11)
+	p.Run(tr, 60)
+	if p.CountEvents()[EvBrownout] == 0 {
+		t.Error("ladder never moved under 30 rps/function on one GPU")
+	}
+}
+
+// TestFairQueueInterleavesBurst: with fair queueing, a burst from one
+// function cannot starve a co-resident binding; with the deadline
+// queue, the tight-deadline burst runs first.
+func TestFairQueueInterleavesBurst(t *testing.T) {
+	setup := func(fair bool) (*Platform, *tsBinding, *tsBinding, *sharedSlice) {
+		specs := specsFor(t, dnn.Small)[:2]
+		oc := overload.Config{}
+		if fair {
+			oc.FairQueue = true
+		}
+		p := New(smallCluster(1), specs, Options{
+			Policy: &scheduler.FluidFaaS{}, Seed: 3, Overload: oc,
+		})
+		inv := p.inv[0]
+		b0 := inv.bindTS(p.funcs[0])
+		b1 := inv.bindTS(p.funcs[1])
+		if b0 == nil || b1 == nil || b0.shared != b1.shared {
+			t.Fatalf("bindings not sharing a slice")
+		}
+		// Equalise service times so the pop order depends only on the
+		// queueing discipline, not the models' relative exec costs.
+		st := b0.shared.slice.Type
+		p.funcs[0].monoExec[st] = 0.2
+		p.funcs[1].monoExec[st] = 0.2
+		b0.everLoaded, b1.everLoaded = true, true
+		return p, b0, b1, b0.shared
+	}
+	popOrder := func(p *Platform, b0, b1 *tsBinding, ss *sharedSlice) []int {
+		// Hold the slice busy so all six jobs queue, then drain by hand.
+		ss.busy = true
+		for i := 0; i < 4; i++ {
+			ss.enqueue(p, b0, &request{fn: b0.fn, deadline: 10 + float64(i)})
+		}
+		ss.enqueue(p, b1, &request{fn: b1.fn, deadline: 1000})
+		ss.enqueue(p, b1, &request{fn: b1.fn, deadline: 1001})
+		ss.busy = false
+		var order []int
+		for ss.qlen() > 0 {
+			job := ss.pop()
+			order = append(order, job.b.fn.spec.ID)
+		}
+		return order
+	}
+
+	p, b0, b1, ss := setup(true)
+	order := popOrder(p, b0, b1, ss)
+	lastB1 := -1
+	for i, id := range order {
+		if id == 1 {
+			lastB1 = i
+		}
+	}
+	if lastB1 > 3 {
+		t.Errorf("fair queue starved the sibling: order %v", order)
+	}
+
+	p, b0, b1, ss = setup(false)
+	order = popOrder(p, b0, b1, ss)
+	if order[4] != 1 || order[5] != 1 {
+		t.Errorf("deadline queue order %v, want the loose-deadline jobs last", order)
+	}
+}
+
+// TestDropStaleTSQueue is the regression test for the satellite bugfix:
+// a request stuck in a shared-slice queue past the client timeout must
+// be dropped by dropStalePending (it previously only swept fn.pending,
+// so such requests were served long after the client had gone, wasting
+// GPU time). Covered for both queue disciplines.
+func TestDropStaleTSQueue(t *testing.T) {
+	for _, fair := range []bool{false, true} {
+		name := "deadline-queue"
+		if fair {
+			name = "fair-queue"
+		}
+		t.Run(name, func(t *testing.T) {
+			specs := specsFor(t, dnn.Small)[:2]
+			oc := overload.Config{FairQueue: fair}
+			p := New(smallCluster(1), specs, Options{
+				Policy: &scheduler.FluidFaaS{}, Seed: 3, Overload: oc,
+			})
+			inv := p.inv[0]
+			b0 := inv.bindTS(p.funcs[0])
+			b1 := inv.bindTS(p.funcs[1])
+			if b0 == nil || b1 == nil || b0.shared != b1.shared {
+				t.Fatal("bindings not sharing a slice")
+			}
+			b0.everLoaded, b1.everLoaded = true, true
+			ss := b0.shared
+			// Make the blocking job's service far outlast the client
+			// timeout, so the queued job is still waiting at sweep time.
+			p.funcs[0].monoExec[ss.slice.Type] = 50
+
+			stale := &request{
+				id: 1, fn: b1.fn, arrival: 0, deadline: b1.fn.spec.SLO,
+				rec: metrics.RequestRecord{ID: 1, Func: 1, SLO: b1.fn.spec.SLO},
+			}
+			p.eng.At(0, func() {
+				// A long-deadline job occupies the slice; the b1 job
+				// queues behind it.
+				ss.enqueue(p, b0, &request{fn: b0.fn, deadline: 1000})
+				ss.enqueue(p, b1, stale)
+			})
+			// Well past PendingDrop*SLO, a control-loop sweep runs while
+			// the job still sits in the queue.
+			cut := p.opts.PendingDrop*b1.fn.spec.SLO + 1
+			p.eng.At(cut, func() {
+				if ss.qlen() != 1 {
+					t.Fatalf("queue length = %d before sweep, want the stuck job", ss.qlen())
+				}
+				p.dropStalePending()
+				if ss.qlen() != 0 {
+					t.Error("stale job survived the sweep")
+				}
+				if b1.outstanding != 0 {
+					t.Errorf("binding outstanding = %d after drop, want 0", b1.outstanding)
+				}
+			})
+			p.eng.RunUntil(cut + 0.001)
+			if !stale.rec.Dropped || stale.rec.Rejected {
+				t.Errorf("stale record = %+v, want a timeout drop", stale.rec)
+			}
+			if stale.rec.Completion != cut {
+				t.Errorf("drop time = %v, want sweep time %v", stale.rec.Completion, cut)
+			}
+			found := false
+			for _, r := range p.Collector().Records() {
+				if r.ID == 1 && r.Dropped {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("dropped request not recorded")
+			}
+		})
+	}
+}
+
+// TestRoutedInstanceOrders covers the three routing orders over a
+// hand-built instance list (satellite coverage task).
+func TestRoutedInstanceOrders(t *testing.T) {
+	specs := specsFor(t, dnn.Small)[:1]
+	p := New(smallCluster(1), specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 1})
+	fn := p.funcs[0]
+	mk := func(id string, lat float64) *Instance {
+		return &Instance{id: id, fn: fn, plan: pipeline.Plan{Latency: lat}}
+	}
+	a, b, c := mk("a", 0.1), mk("b", 0.2), mk("c", 0.3)
+	fn.instances = []*Instance{a, b, c} // latency-ascending invariant
+
+	p.opts.Routing = RouteLatencyAsc
+	got := p.routedInstances(fn)
+	if got[0] != a || got[1] != b || got[2] != c {
+		t.Errorf("ascending order wrong: %v", ids(got))
+	}
+
+	p.opts.Routing = RouteLatencyDesc
+	got = p.routedInstances(fn)
+	if got[0] != c || got[1] != b || got[2] != a {
+		t.Errorf("descending order wrong: %v", ids(got))
+	}
+	if fn.instances[0] != a {
+		t.Error("descending view mutated the underlying slice")
+	}
+
+	p.opts.Routing = RouteRoundRobin
+	firsts := map[string]int{}
+	for i := 0; i < 6; i++ {
+		got = p.routedInstances(fn)
+		if len(got) != 3 {
+			t.Fatalf("round-robin returned %d instances", len(got))
+		}
+		// Each view is a rotation: order must be preserved cyclically.
+		for j := 1; j < 3; j++ {
+			prev, cur := got[j-1], got[j]
+			if !(prev == a && cur == b || prev == b && cur == c || prev == c && cur == a) {
+				t.Fatalf("round-robin view %v is not a rotation", ids(got))
+			}
+		}
+		firsts[got[0].id]++
+	}
+	// Over 6 calls every instance leads exactly twice: rotation fairness.
+	for _, inst := range []*Instance{a, b, c} {
+		if firsts[inst.id] != 2 {
+			t.Errorf("instance %s led %d of 6 calls, want 2", inst.id, firsts[inst.id])
+		}
+	}
+
+	// Empty instance list under round-robin must not panic or divide by
+	// zero.
+	fn.instances = nil
+	if got := p.routedInstances(fn); len(got) != 0 {
+		t.Errorf("round-robin over no instances returned %v", ids(got))
+	}
+}
+
+func ids(insts []*Instance) []string {
+	out := make([]string, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.id
+	}
+	return out
+}
+
+// TestMigrationDrainsPending is the regression test for the satellite
+// bugfix: tryMigration used to discard the freshly launched monolithic
+// instance, stranding the function's pending overflow until the next
+// completion or control tick. The new instance must absorb pending
+// requests immediately.
+func TestMigrationDrainsPending(t *testing.T) {
+	specs := specsFor(t, dnn.Medium)[:1]
+	// One default-partition GPU supplies the 4g migration target; a
+	// fully fragmented GPU supplies 1g slices for the pipeline.
+	cl := cluster.New(cluster.Spec{
+		Nodes: 1, CPUMemGB: 400,
+		GPUConfigs: []mig.Config{mig.DefaultConfig, mig.ConfigFull1g},
+	})
+	p := New(cl, specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 1})
+	fn := p.funcs[0]
+	node := cl.Nodes[0]
+
+	// Build a pipelined instance on small slices, leaving a big slice
+	// free as the migration target.
+	free := node.FreeSlices(0)
+	var small []*mig.Slice
+	var target *mig.Slice
+	for _, sl := range free {
+		if sl.Type == mig.Slice4g && target == nil {
+			target = sl
+		}
+		// Only 1g slices feed the pipeline, so Construct cannot pick
+		// a monolithic placement.
+		if sl.Type == mig.Slice1g {
+			small = append(small, sl)
+		}
+	}
+	if target == nil {
+		t.Fatal("no 4g slice free")
+	}
+	types := make([]mig.SliceType, len(small))
+	for i, sl := range small {
+		types[i] = sl.Type
+	}
+	plan, _, err := pipeline.Construct(fn.spec.DAG, fn.spec.Parts, types, fn.spec.SLO)
+	if err != nil {
+		t.Fatalf("no pipelined plan over %v: %v", types, err)
+	}
+	if !plan.Pipelined() {
+		t.Fatalf("construct returned a monolithic plan over %v", types)
+	}
+	slices := make([]*mig.Slice, len(plan.Stages))
+	used := map[*mig.Slice]bool{}
+	for i, sp := range plan.Stages {
+		for _, sl := range small {
+			if sl.Type == sp.SliceType && !used[sl] {
+				slices[i], used[sl] = sl, true
+				break
+			}
+		}
+		if slices[i] == nil {
+			t.Fatalf("no free slice for stage %d (%v)", i, sp.SliceType)
+		}
+	}
+	inst := p.launchInstance(fn, node, plan, slices, 0)
+
+	// Keep the pipeline busy (a migration candidate) and stack overflow
+	// in fn.pending.
+	inst.admit(p, &request{id: 0, fn: fn, deadline: 100})
+	for i := 1; i <= 3; i++ {
+		fn.pushPending(&request{id: i, fn: fn, deadline: 100 + float64(i)})
+	}
+
+	p.tryMigration(target)
+	if p.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1", p.Migrations())
+	}
+	var mono *Instance
+	for _, cand := range fn.instances {
+		if !cand.Pipelined() && !cand.retiring {
+			mono = cand
+		}
+	}
+	if mono == nil {
+		t.Fatal("no monolithic replacement instance")
+	}
+	drained := 3 - len(fn.pending)
+	if drained == 0 {
+		t.Fatal("pending overflow not drained into the migrated instance")
+	}
+	if mono.outstanding != drained {
+		t.Errorf("replacement outstanding = %d, want the %d drained requests",
+			mono.outstanding, drained)
+	}
+	if !inst.retiring {
+		t.Error("migrated pipeline not retiring")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fluidfaas/internal/faults"
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/overload"
 	"fluidfaas/internal/scheduler"
 	"fluidfaas/internal/sim"
 	"fluidfaas/internal/trace"
@@ -33,6 +34,11 @@ type FunctionSpec struct {
 	Parts []dag.Partition
 	// SLO is the function's latency budget in seconds.
 	SLO float64
+	// Priority ranks the function for brownout shedding: under extreme
+	// pressure the platform rejects traffic of the lowest priority
+	// class first. Higher is more important; default 0. With uniform
+	// priorities nothing is ever shed.
+	Priority int
 }
 
 // Options configure a platform run.
@@ -83,6 +89,11 @@ type Options struct {
 	// is the paper's heterogeneity-aware lowest-latency-first (§5.3).
 	// The alternatives exist for the routing ablation.
 	Routing RoutingOrder
+	// Overload enables the overload-control subsystem: SLO-aware
+	// admission at route, fair queueing across functions on shared
+	// slices, and the brownout degradation ladder. The zero value
+	// turns all three off, leaving runs bit-for-bit identical.
+	Overload overload.Config
 	// OnSample, when set, is called every SamplePeriod with the current
 	// virtual time and the cluster, so experiments can record custom
 	// series (e.g. per-slice-type activity for Fig. 3b).
@@ -223,6 +234,14 @@ type Platform struct {
 	faultsInjected int // effective fault injections
 	recoveries     int // hardware repairs applied
 	retries        int // fault-triggered request re-routes
+
+	// Overload-control state (all inert when opts.Overload is zero).
+	ladder       *overload.Ladder
+	maxPriority  int     // highest FunctionSpec.Priority; shedding spares it
+	lastPressure float64 // most recent node-pressure sample
+	rejected     int     // admission fast-fails
+	shed         int     // brownout shed rejections (subset of rejected)
+	contractions int     // brownout pipeline contractions
 	// runEnd bounds retry backoffs: a retry that cannot land before the
 	// run ends is pointless (the request would never be recorded).
 	runEnd float64
@@ -241,9 +260,14 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		col:    metrics.NewCollector(),
 		runEnd: math.Inf(1),
 	}
+	p.opts.Overload = p.opts.Overload.Defaulted()
+	p.ladder = overload.NewLadder(p.opts.Overload)
 	for i, spec := range specs {
 		if spec.ID != i {
 			panic(fmt.Sprintf("platform: spec %d has ID %d; IDs must be dense", i, spec.ID))
+		}
+		if spec.Priority > p.maxPriority {
+			p.maxPriority = spec.Priority
 		}
 		p.funcs = append(p.funcs, newFunction(spec))
 	}
@@ -276,6 +300,23 @@ func (p *Platform) Recoveries() int { return p.recoveries }
 
 // Retries returns how many fault-triggered request re-routes occurred.
 func (p *Platform) Retries() int { return p.retries }
+
+// Rejected returns how many requests admission control fast-failed
+// (including brownout sheds).
+func (p *Platform) Rejected() int { return p.rejected }
+
+// ShedCount returns how many requests brownout shedding refused.
+func (p *Platform) ShedCount() int { return p.shed }
+
+// Contractions returns how many brownout pipeline contractions ran.
+func (p *Platform) Contractions() int { return p.contractions }
+
+// BrownoutLevel returns the degradation ladder's current rung.
+func (p *Platform) BrownoutLevel() overload.Level { return p.ladder.Level() }
+
+// Pressure returns the most recent node-pressure sample (only updated
+// while brownout is enabled).
+func (p *Platform) Pressure() float64 { return p.lastPressure }
 
 // Cluster returns the underlying cluster for post-run inspection.
 func (p *Platform) Cluster() *cluster.Cluster { return p.cl }
