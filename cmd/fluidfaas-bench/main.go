@@ -10,6 +10,8 @@ import (
 	"strings"
 
 	"fluidfaas/internal/experiments"
+	"fluidfaas/internal/obs"
+	"fluidfaas/internal/scheduler"
 )
 
 func main() {
@@ -18,6 +20,8 @@ func main() {
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	loads := flag.String("loads", "", "comma-separated load multipliers for -exp overload (default 1,2,4)")
 	csvDir := flag.String("csv", "", "also write plot series (Fig. 3a, Fig. 16 timelines, CDFs) as CSV files into this directory")
+	traceOut := flag.String("trace-out", "", "also run an instrumented fluidfaas/medium capture and write its Chrome trace-event JSON here")
+	metricsOut := flag.String("metrics-out", "", "also run an instrumented fluidfaas/medium capture and write its Prometheus metrics here")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -106,6 +110,40 @@ func main() {
 		}
 		fmt.Println(experiments.OverloadTable(experiments.RunOverload(cfg, mults)))
 	})
+
+	// Observability capture: one extra instrumented run of the paper's
+	// default system and workload, exported for Perfetto / Prometheus.
+	// The tables above stay on the zero-cost uninstrumented path.
+	if *traceOut != "" || *metricsOut != "" {
+		ocfg := cfg
+		ocfg.Obs = obs.NewRecorder()
+		r := experiments.RunSystem(&scheduler.FluidFaaS{}, experiments.Medium, ocfg)
+		ocfg.Obs.SetGauge("fluidfaas_events_dropped", float64(r.EventsDropped))
+		ocfg.Obs.SetGauge("fluidfaas_events_published_total", float64(r.EventsTotal))
+		writeExport := func(path string, write func(*os.File) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if *traceOut != "" {
+			writeExport(*traceOut, func(f *os.File) error { return obs.WriteChromeTrace(f, ocfg.Obs) })
+		}
+		if *metricsOut != "" {
+			writeExport(*metricsOut, func(f *os.File) error { return obs.WritePrometheus(f, ocfg.Obs) })
+		}
+	}
 
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())

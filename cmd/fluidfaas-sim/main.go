@@ -7,9 +7,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fluidfaas/internal/experiments"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs"
+	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
 )
 
@@ -19,7 +22,10 @@ func main() {
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	seed := flag.Int64("seed", 42, "random seed")
 	partition := flag.String("partition", "P1", "partition scheme: P1|P2|Hybrid")
-	events := flag.Int("events", 0, "print the last N platform lifecycle events")
+	events := flag.Int("events", 0, "print the last N platform lifecycle events (0 with -events-kind prints all matching)")
+	eventsKind := flag.String("events-kind", "", "only print lifecycle events of these kinds (comma-separated, e.g. fault,retry); collected losslessly off the event bus")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto / chrome://tracing)")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text-exposition metrics to this file")
 	flag.Parse()
 
 	var pol scheduler.Policy
@@ -63,6 +69,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability: a recorder only when an export is requested (the
+	// nil default keeps the run on the zero-cost path), and a lossless
+	// bus subscriber when an event-kind filter is active (the retained
+	// ring is bounded; the filter must not miss wrapped events).
+	if *traceOut != "" || *metricsOut != "" {
+		cfg.Obs = obs.NewRecorder()
+	}
+	var filtered []platform.Event
+	if *eventsKind != "" {
+		want := map[platform.EventKind]bool{}
+		for _, name := range strings.Split(*eventsKind, ",") {
+			k, err := platform.ParseEventKind(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			want[k] = true
+		}
+		cfg.OnEvent = func(e platform.Event) {
+			if want[e.Kind] {
+				filtered = append(filtered, e)
+			}
+		}
+	}
+
 	r := experiments.RunSystem(pol, w, cfg)
 	fmt.Printf("system         %s\n", r.System)
 	fmt.Printf("workload       %s (%s variants)\n", w, w.Variant())
@@ -82,14 +113,47 @@ func main() {
 	fmt.Printf("mean util      %.1f%% of GPCs\n", r.UtilGPCs.Mean()*100)
 	fmt.Printf("instances      %d launched, %d evictions, %d migrations\n",
 		r.Launched, r.Evictions, r.Migrations)
-	if *events > 0 {
+	if *events > 0 || *eventsKind != "" {
 		evs := r.Events
-		if len(evs) > *events {
+		label := "recent lifecycle events"
+		if *eventsKind != "" {
+			evs = filtered
+			label = fmt.Sprintf("lifecycle events (%s)", *eventsKind)
+		}
+		if *events > 0 && len(evs) > *events {
 			evs = evs[len(evs)-*events:]
 		}
-		fmt.Println("\nrecent lifecycle events:")
+		fmt.Printf("\n%s:\n", label)
 		for _, e := range evs {
 			fmt.Println(" ", e)
+		}
+	}
+
+	if rec := cfg.Obs; rec != nil {
+		rec.SetGauge("fluidfaas_events_dropped", float64(r.EventsDropped))
+		rec.SetGauge("fluidfaas_events_published_total", float64(r.EventsTotal))
+		writeExport := func(path string, write func(*os.File) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if *traceOut != "" {
+			writeExport(*traceOut, func(f *os.File) error { return obs.WriteChromeTrace(f, rec) })
+		}
+		if *metricsOut != "" {
+			writeExport(*metricsOut, func(f *os.File) error { return obs.WritePrometheus(f, rec) })
 		}
 	}
 }

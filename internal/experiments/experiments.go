@@ -13,6 +13,7 @@ import (
 	"fluidfaas/internal/faults"
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
@@ -112,6 +113,17 @@ type Config struct {
 	// missing entries default to 0). Brownout shedding spares the
 	// highest class.
 	Priorities []int
+	// Obs attaches an observability recorder to the run (nil = off, the
+	// zero-cost default). The recorder fills with request traces, slice
+	// spans and metrics for the Chrome-trace / Prometheus exporters.
+	Obs *obs.Recorder
+	// OnEvent subscribes to the platform's lifecycle event bus before
+	// the run starts, seeing every event losslessly (the retained ring
+	// in SystemResult.Events is bounded). Subscribers must only observe.
+	OnEvent func(platform.Event)
+	// EventLogCap bounds the retained lifecycle-event ring (0 = the
+	// platform default, 4096).
+	EventLogCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -252,8 +264,12 @@ type SystemResult struct {
 	Recoveries   int
 	Retries      int
 
-	// Events are the platform's retained lifecycle events.
-	Events []platform.Event
+	// Events are the platform's retained lifecycle events; EventsTotal
+	// counts every event the run published and EventsDropped how many
+	// the bounded ring overwrote (Config.OnEvent sees them all).
+	Events        []platform.Event
+	EventsTotal   int
+	EventsDropped int
 }
 
 // RunSystem executes one (policy, workload) experiment.
@@ -273,7 +289,11 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
 		Faults: cfg.Faults, Overload: cfg.Overload,
+		Obs: cfg.Obs, EventLogCap: cfg.EventLogCap,
 	})
+	if cfg.OnEvent != nil {
+		p.EventBus().Subscribe(cfg.OnEvent)
+	}
 	tr := TraceFor(w, cfg)
 	p.Run(tr, cfg.Drain)
 
@@ -315,6 +335,8 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		Recoveries:    p.Recoveries(),
 		Retries:       p.Retries(),
 		Events:        p.Events(),
+		EventsTotal:   p.TotalEvents(),
+		EventsDropped: p.DroppedEvents(),
 	}
 	for f, ls := range col.LatenciesByFunc() {
 		res.CDFByApp[f] = metrics.CDF(ls, 20)

@@ -1,0 +1,93 @@
+package obs
+
+// Bus is a streaming fan-out of values with a bounded ring as the
+// default sink. Subscribers see every published value synchronously and
+// losslessly, in publish order; the ring retains only the newest
+// Capacity values for after-the-fact inspection and counts what it
+// overwrote instead of dropping silently. The zero value is unusable;
+// build buses with NewBus.
+//
+// The bus is deliberately synchronous and single-goroutine (the
+// simulation engine runs everything on one goroutine): Publish calls
+// each subscriber inline, so subscribing observers cannot reorder or
+// lose events, and determinism is preserved as long as subscribers only
+// observe.
+type Bus[T any] struct {
+	capacity int
+	buf      []T
+	next     int
+	total    int
+	subs     []func(T)
+}
+
+// DefaultBusCapacity is the ring size when NewBus is given a
+// non-positive capacity.
+const DefaultBusCapacity = 4096
+
+// NewBus returns a bus whose ring retains the newest capacity values
+// (DefaultBusCapacity when capacity <= 0).
+func NewBus[T any](capacity int) *Bus[T] {
+	if capacity <= 0 {
+		capacity = DefaultBusCapacity
+	}
+	return &Bus[T]{capacity: capacity}
+}
+
+// Capacity returns the ring's bound.
+func (b *Bus[T]) Capacity() int { return b.capacity }
+
+// Subscribe registers fn to be called synchronously with every value
+// published after this point. The returned cancel function removes the
+// subscription (idempotent).
+func (b *Bus[T]) Subscribe(fn func(T)) (cancel func()) {
+	b.subs = append(b.subs, fn)
+	idx := len(b.subs) - 1
+	return func() {
+		if idx >= 0 && idx < len(b.subs) && b.subs[idx] != nil {
+			b.subs[idx] = nil
+		}
+	}
+}
+
+// Publish appends v to the ring (overwriting the oldest value when
+// full) and delivers it to every live subscriber in subscription order.
+func (b *Bus[T]) Publish(v T) {
+	if b.buf == nil {
+		b.buf = make([]T, 0, b.capacity)
+	}
+	if len(b.buf) < b.capacity {
+		b.buf = append(b.buf, v)
+	} else {
+		b.buf[b.next] = v
+	}
+	b.next = (b.next + 1) % b.capacity
+	b.total++
+	for _, fn := range b.subs {
+		if fn != nil {
+			fn(v)
+		}
+	}
+}
+
+// Total returns how many values were ever published.
+func (b *Bus[T]) Total() int { return b.total }
+
+// Retained returns how many values the ring currently holds.
+func (b *Bus[T]) Retained() int { return len(b.buf) }
+
+// Dropped returns how many published values the ring has overwritten —
+// the loss a Snapshot consumer sees (subscribers see everything).
+func (b *Bus[T]) Dropped() int { return b.total - len(b.buf) }
+
+// Snapshot returns the retained values oldest-first.
+func (b *Bus[T]) Snapshot() []T {
+	if len(b.buf) < b.capacity {
+		out := make([]T, len(b.buf))
+		copy(out, b.buf)
+		return out
+	}
+	out := make([]T, 0, b.capacity)
+	out = append(out, b.buf[b.next:]...)
+	out = append(out, b.buf[:b.next]...)
+	return out
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Chrome trace-event export: one process per node with one thread per
+// MIG slice (so Perfetto shows a utilisation timeline per slice), plus
+// a "requests" process carrying each request's causal chain as nested
+// async spans (queue -> load/exec/transfer hops happen on the slice
+// tracks; retries and lifecycle instants are marks). The output is a
+// JSON-object-format trace ({"traceEvents": [...]}) per the trace-event
+// spec and loads directly in Perfetto / chrome://tracing.
+//
+// The export is deterministic: events are emitted in record order,
+// timestamps are integral microseconds, and all JSON field order is
+// fixed by the event struct.
+
+// chromeEvent is one trace event. Field order fixes the byte layout.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Reserved pids: requests (async chains) and platform-wide marks live
+// in their own processes; node n's hardware tracks use pid nodePidBase+n.
+const (
+	requestsPid = 1
+	platformPid = 2
+	nodePidBase = 10
+)
+
+func usec(t float64) int64 { return int64(math.Round(t * 1e6)) }
+
+// asyncID is the async chain identity of a request.
+func asyncID(fn, req int) string { return fmt.Sprintf("f%d-r%d", fn, req) }
+
+// WriteChromeTrace writes the recorder's spans as Chrome trace-event
+// JSON. Same recorder contents ⇒ byte-identical output.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	var evs []chromeEvent
+
+	// Metadata: name the processes and the per-slice threads.
+	meta := func(pid int, name string) {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(requestsPid, "requests")
+	meta(platformPid, "platform")
+	evs = append(evs, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: platformPid, Tid: 0,
+		Args: map[string]any{"name": "lifecycle"},
+	})
+	namedNodes := map[int]bool{}
+	// tid within a node process is the track's per-node index.
+	tids := make(map[string]int, len(r.Tracks()))
+	nodeNext := map[int]int{}
+	for _, tr := range r.Tracks() {
+		pid := nodePidBase + tr.Node
+		if !namedNodes[tr.Node] {
+			namedNodes[tr.Node] = true
+			meta(pid, fmt.Sprintf("node%d", tr.Node))
+		}
+		tid := nodeNext[tr.Node]
+		nodeNext[tr.Node]++
+		tids[tr.Name] = tid
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": tr.Name},
+		})
+	}
+	nodeOf := make(map[string]int, len(r.Tracks()))
+	for _, tr := range r.Tracks() {
+		nodeOf[tr.Name] = tr.Node
+	}
+
+	for _, sp := range r.Spans() {
+		switch sp.Kind {
+		case KindSlice:
+			dur := usec(sp.End) - usec(sp.Start)
+			args := map[string]any{"func": sp.Func, "req": sp.Req}
+			if sp.Stage >= 0 {
+				args["stage"] = sp.Stage
+			}
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "X", Ts: usec(sp.Start), Dur: &dur,
+				Pid: nodePidBase + nodeOf[sp.Track], Tid: tids[sp.Track], Args: args,
+			})
+		case KindAsync:
+			args := map[string]any{"func": sp.Func, "req": sp.Req}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			id := asyncID(sp.Func, sp.Req)
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "b", Ts: usec(sp.Start),
+				Pid: requestsPid, Tid: 0, ID: id, Args: args,
+			})
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "e", Ts: usec(sp.End),
+				Pid: requestsPid, Tid: 0, ID: id,
+			})
+		case KindAsyncMark:
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "n", Ts: usec(sp.Start),
+				Pid: requestsPid, Tid: 0, ID: asyncID(sp.Func, sp.Req),
+				Args: map[string]any{"func": sp.Func, "req": sp.Req, "detail": sp.Detail},
+			})
+		case KindMark:
+			pid, tid := platformPid, 0
+			if t, ok := tids[sp.Track]; ok {
+				pid, tid = nodePidBase+nodeOf[sp.Track], t
+			}
+			args := map[string]any{"subject": sp.Track}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "i", Ts: usec(sp.Start),
+				Pid: pid, Tid: tid, Scope: "t", Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketEdges: values exactly on a bucket's upper bound
+// land in that bucket (Prometheus le semantics); values past the last
+// bound land in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{0.5, 0},
+		{1, 0}, // exactly on the first bound
+		{1.001, 1},
+		{2, 1},      // exactly on a middle bound
+		{4, 2},      // exactly on the last bound
+		{4.0001, 3}, // overflow
+		{math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		before := append([]int(nil), h.Counts...)
+		h.Observe(c.v)
+		for i := range h.Counts {
+			wantDelta := 0
+			if i == c.want {
+				wantDelta = 1
+			}
+			if h.Counts[i]-before[i] != wantDelta {
+				t.Errorf("Observe(%v): bucket %d delta = %d, want %d",
+					c.v, i, h.Counts[i]-before[i], wantDelta)
+			}
+		}
+	}
+	if h.N != len(cases) {
+		t.Errorf("N = %d, want %d", h.N, len(cases))
+	}
+}
+
+// TestHistogramCumulative: cumulative counts are monotone and the
+// overflow bucket brings the total to N.
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if h.Counts[len(h.Bounds)] != 2 {
+		t.Errorf("overflow count = %d, want 2", h.Counts[len(h.Bounds)])
+	}
+}
+
+// TestLatencyHistogramBounds: the standard latency buckets are log-
+// spaced by factor 2 from 1 ms and strictly ascending.
+func TestLatencyHistogramBounds(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Bounds[0] != 0.001 {
+		t.Errorf("first bound = %v, want 0.001", h.Bounds[0])
+	}
+	for i := 1; i < len(h.Bounds); i++ {
+		if h.Bounds[i] != h.Bounds[i-1]*2 {
+			t.Errorf("bounds not doubling at %d: %v -> %v", i, h.Bounds[i-1], h.Bounds[i])
+		}
+	}
+	if last := h.Bounds[len(h.Bounds)-1]; last < 100 {
+		t.Errorf("last bound %v too small to cover client timeouts", last)
+	}
+}
+
+// TestHistogramQuantile: quantiles report bucket upper bounds; empty
+// histograms report 0.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for _, v := range []float64{0.5, 0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	if q := h.Quantile(1.0); q != 4 {
+		t.Errorf("p100 = %v, want 4 (overflow clamps to last bound)", q)
+	}
+}
+
+// TestHistogramBadBounds: non-ascending bounds are a construction bug.
+func TestHistogramBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

@@ -1,0 +1,262 @@
+// Package obs is the platform's observability layer: per-request traces
+// built from typed spans, a lossless streaming event bus with a bounded
+// ring as the default sink, log-bucketed latency histograms, and two
+// deterministic exporters (Chrome trace-event JSON for Perfetto, and
+// Prometheus-style text exposition).
+//
+// Everything here is an observer: recording a span or publishing an
+// event never schedules simulation work or mutates platform state, so a
+// run with observability attached is bit-for-bit identical to one
+// without. The Recorder's methods are nil-receiver safe — a nil
+// *Recorder is the disabled sink and every call short-circuits — so
+// instrumentation points do not need their own guards.
+package obs
+
+import "sort"
+
+// SpanKind classifies how a span is rendered in the trace export.
+type SpanKind int
+
+// Span kinds.
+const (
+	// KindSlice is a duration span on a hardware track (one track per
+	// MIG slice): model loads, stage executions, transfers.
+	KindSlice SpanKind = iota
+	// KindAsync is a duration span on a request's causal chain
+	// (admission-to-completion, queueing). Async spans with the same
+	// request identity nest in Perfetto.
+	KindAsync
+	// KindMark is an instant on a hardware or platform track
+	// (lifecycle events: launch, evict, fault, brownout, ...).
+	KindMark
+	// KindAsyncMark is an instant on a request's causal chain (retry
+	// and migration hops).
+	KindAsyncMark
+)
+
+// Span is one recorded observation. Times are virtual-time seconds.
+type Span struct {
+	Kind SpanKind
+	// Cat groups spans (queue, load, exec, transfer, request, retry).
+	Cat string
+	// Name labels the span (function name, event kind, ...).
+	Name string
+	// Track is the hardware track (a MIG slice ID) for KindSlice and
+	// KindMark spans; empty means the platform-wide track.
+	Track string
+	// Func and Req tie the span to a request ("-1" = none). Together
+	// they are the async chain identity.
+	Func, Req int
+	// Stage is the pipeline stage index (-1 when not stage-scoped).
+	Stage int
+	// Start and End bound the span; instants have Start == End.
+	Start, End float64
+	// Detail is free-form context (event detail, retry reason).
+	Detail string
+}
+
+// Track is one registered hardware track.
+type Track struct {
+	Node int
+	Name string
+}
+
+// Recorder accumulates spans, tracks, and request metrics for one run.
+// The zero value is ready to use; a nil *Recorder is the disabled sink.
+type Recorder struct {
+	spans  []Span
+	tracks []Track
+	tidx   map[string]int
+
+	// busy accumulates per-track busy seconds (load + exec span
+	// durations), the utilisation counter of the metrics export.
+	busy map[string]float64
+
+	// hists holds per-(function, outcome) latency histograms and
+	// counts keyed by `func \xff outcome`.
+	hists map[string]*Histogram
+
+	// marks counts instants by name (lifecycle event totals).
+	marks map[string]int
+
+	// gauges holds driver-set scalar metrics (e.g. dropped events).
+	gauges map[string]float64
+
+	// duration is the observed run length, for utilisation fractions.
+	duration float64
+}
+
+// NewRecorder returns an empty, enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether the recorder collects anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// RegisterTrack declares a hardware track (a MIG slice) on a node.
+// Registration order fixes the export's thread ordering; registering a
+// name twice is a no-op.
+func (r *Recorder) RegisterTrack(node int, name string) {
+	if r == nil {
+		return
+	}
+	if r.tidx == nil {
+		r.tidx = make(map[string]int)
+	}
+	if _, ok := r.tidx[name]; ok {
+		return
+	}
+	r.tidx[name] = len(r.tracks)
+	r.tracks = append(r.tracks, Track{Node: node, Name: name})
+}
+
+// Tracks returns the registered hardware tracks in registration order.
+func (r *Recorder) Tracks() []Track {
+	if r == nil {
+		return nil
+	}
+	return r.tracks
+}
+
+// SliceSpan records a duration span on a hardware track. Load and exec
+// spans also accumulate the track's busy-seconds counter.
+func (r *Recorder) SliceSpan(cat, name, track string, fn, req, stage int, start, end float64) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Kind: KindSlice, Cat: cat, Name: name, Track: track,
+		Func: fn, Req: req, Stage: stage, Start: start, End: end,
+	})
+	if cat == "load" || cat == "exec" {
+		if r.busy == nil {
+			r.busy = make(map[string]float64)
+		}
+		r.busy[track] += end - start
+	}
+}
+
+// AsyncSpan records a duration span on a request's causal chain.
+func (r *Recorder) AsyncSpan(cat, name string, fn, req int, start, end float64, detail string) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Kind: KindAsync, Cat: cat, Name: name,
+		Func: fn, Req: req, Stage: -1, Start: start, End: end, Detail: detail,
+	})
+}
+
+// AsyncMark records an instant on a request's causal chain (a retry or
+// migration hop).
+func (r *Recorder) AsyncMark(cat, name string, fn, req int, t float64, detail string) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Kind: KindAsyncMark, Cat: cat, Name: name,
+		Func: fn, Req: req, Stage: -1, Start: t, End: t, Detail: detail,
+	})
+}
+
+// Mark records an instant on a hardware or platform track and counts it
+// by name. The track may be unregistered (instance IDs, function
+// names); the export puts those on the platform-wide track.
+func (r *Recorder) Mark(name, track string, t float64, detail string) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Kind: KindMark, Cat: "event", Name: name, Track: track,
+		Func: -1, Req: -1, Stage: -1, Start: t, End: t, Detail: detail,
+	})
+	if r.marks == nil {
+		r.marks = make(map[string]int)
+	}
+	r.marks[name]++
+}
+
+// histKeySep separates function and outcome in histogram keys; it
+// cannot appear in either.
+const histKeySep = "\xff"
+
+// Request observes a finalised request for the metrics export: one
+// latency-histogram sample per (function, outcome).
+func (r *Recorder) Request(fn, outcome string, latency float64) {
+	if r == nil {
+		return
+	}
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	key := fn + histKeySep + outcome
+	h, ok := r.hists[key]
+	if !ok {
+		h = NewLatencyHistogram()
+		r.hists[key] = h
+	}
+	h.Observe(latency)
+}
+
+// SetGauge records a driver-supplied scalar metric.
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]float64)
+	}
+	r.gauges[name] = v
+}
+
+// SetDuration records the run length, the denominator of the exported
+// per-slice utilisation fractions.
+func (r *Recorder) SetDuration(d float64) {
+	if r == nil {
+		return
+	}
+	r.duration = d
+}
+
+// Duration returns the recorded run length (0 when unset).
+func (r *Recorder) Duration() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.duration
+}
+
+// Spans returns all recorded spans in record order (shared slice; do
+// not mutate).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// BusySeconds returns the accumulated busy time of a track.
+func (r *Recorder) BusySeconds(track string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.busy[track]
+}
+
+// MarkCount returns how many instants were recorded under name.
+func (r *Recorder) MarkCount(name string) int {
+	if r == nil {
+		return 0
+	}
+	return r.marks[name]
+}
+
+// sortedKeys returns map keys in sorted order, for deterministic
+// exports.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilRecorder: every method of a nil recorder is a safe no-op —
+// the disabled sink must cost nothing and never panic.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.RegisterTrack(0, "gpu0/1g.10gb#0")
+	r.SliceSpan("exec", "app0", "gpu0/1g.10gb#0", 0, 1, 0, 0, 1)
+	r.AsyncSpan("request", "app0", 0, 1, 0, 2, "")
+	r.AsyncMark("retry", "retry", 0, 1, 1, "node died")
+	r.Mark("launch", "app0#1", 0, "")
+	r.Request("app0", "served", 0.5)
+	r.SetGauge("g", 1)
+	r.SetDuration(10)
+	if r.Spans() != nil || r.Tracks() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	if r.BusySeconds("x") != 0 || r.MarkCount("launch") != 0 || r.Duration() != 0 {
+		t.Fatal("nil recorder returned nonzero counters")
+	}
+	// Exporters accept a nil recorder too.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleRecorder() *Recorder {
+	r := NewRecorder()
+	r.RegisterTrack(0, "gpu0/4g.40gb#0")
+	r.RegisterTrack(0, "gpu0/2g.20gb#0")
+	r.RegisterTrack(1, "gpu8/4g.40gb#0")
+	r.AsyncSpan("request", "app0", 0, 7, 0, 2.5, "served")
+	r.AsyncSpan("queue", "queue", 0, 7, 0, 0.5, "")
+	r.SliceSpan("load", "load app0", "gpu0/4g.40gb#0", 0, 7, -1, 0.5, 1.0)
+	r.SliceSpan("exec", "exec app0", "gpu0/4g.40gb#0", 0, 7, 0, 1.0, 2.0)
+	r.SliceSpan("transfer", "transfer", "gpu0/4g.40gb#0", 0, 7, 0, 2.0, 2.1)
+	r.AsyncMark("retry", "retry", 0, 7, 2.2, "slice failed")
+	r.Mark("launch", "app0#1", 0.1, "[4g]")
+	r.Mark("evict", "gpu0/2g.20gb#0", 1.5, "LRU")
+	r.Request("app0", "served", 2.5)
+	r.Request("app0", "dropped", 8.0)
+	r.Request("app1", "served", 0.001) // exactly on the first bound
+	r.SetGauge("fluidfaas_events_dropped", 3)
+	r.SetDuration(10)
+	return r
+}
+
+// TestRecorderAccounting: busy seconds accumulate from load+exec spans
+// only; marks count by name.
+func TestRecorderAccounting(t *testing.T) {
+	r := sampleRecorder()
+	if got := r.BusySeconds("gpu0/4g.40gb#0"); got != 1.5 {
+		t.Errorf("busy = %v, want 1.5 (transfer must not count)", got)
+	}
+	if r.MarkCount("launch") != 1 || r.MarkCount("evict") != 1 {
+		t.Error("mark counts wrong")
+	}
+	if len(r.Tracks()) != 3 {
+		t.Fatalf("tracks = %d, want 3", len(r.Tracks()))
+	}
+	r.RegisterTrack(0, "gpu0/4g.40gb#0") // duplicate: no-op
+	if len(r.Tracks()) != 3 {
+		t.Error("duplicate track registration added a track")
+	}
+}
+
+// TestChromeTraceShape: the export is valid trace-event JSON — a
+// traceEvents array whose events carry ph/ts/pid/tid — with one thread
+// per registered slice and the expected span phases.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]int{}
+	threadNames := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %v missing %q", ev, field)
+			}
+		}
+		ph := ev["ph"].(string)
+		phases[ph]++
+		if ev["name"] == "thread_name" {
+			args := ev["args"].(map[string]any)
+			threadNames[args["name"].(string)] = true
+		}
+	}
+	for _, tr := range []string{"gpu0/4g.40gb#0", "gpu0/2g.20gb#0", "gpu8/4g.40gb#0"} {
+		if !threadNames[tr] {
+			t.Errorf("no thread metadata for slice track %s", tr)
+		}
+	}
+	for _, ph := range []string{"X", "b", "e", "i", "n", "M"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q-phase events in export", ph)
+		}
+	}
+	if phases["b"] != phases["e"] {
+		t.Errorf("async begin/end mismatch: %d b vs %d e", phases["b"], phases["e"])
+	}
+}
+
+// TestExportDeterminism: identical recorder contents produce
+// byte-identical exports.
+func TestExportDeterminism(t *testing.T) {
+	var c1, c2, p1, p2 bytes.Buffer
+	if err := WriteChromeTrace(&c1, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&c2, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Error("Chrome trace export is not deterministic")
+	}
+	if err := WritePrometheus(&p1, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&p2, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+		t.Error("Prometheus export is not deterministic")
+	}
+}
+
+// TestPrometheusShape: the text exposition carries the histogram
+// series with cumulative buckets, +Inf, sum and count, and the
+// per-slice and event counters.
+func TestPrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`fluidfaas_requests_total{func="app0",outcome="served"} 1`,
+		`fluidfaas_requests_total{func="app0",outcome="dropped"} 1`,
+		// 0.001 lands in the le="0.001" bucket (le semantics).
+		`fluidfaas_request_latency_seconds_bucket{func="app1",outcome="served",le="0.001"} 1`,
+		`fluidfaas_request_latency_seconds_bucket{func="app0",outcome="served",le="+Inf"} 1`,
+		`fluidfaas_request_latency_seconds_count{func="app0",outcome="served"} 1`,
+		`fluidfaas_slice_busy_seconds_total{node="0",slice="gpu0/4g.40gb#0"} 1.5`,
+		`fluidfaas_slice_utilisation{node="0",slice="gpu0/4g.40gb#0"} 0.15`,
+		`fluidfaas_events_total{kind="launch"} 1`,
+		`fluidfaas_events_dropped 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus-style text exposition of the recorder's metrics:
+// per-(function, outcome) request counts and latency histograms,
+// per-slice busy-seconds and utilisation, lifecycle event totals, and
+// driver-set gauges. The output is deterministic: series are emitted in
+// sorted label order and floats use shortest-round-trip formatting, so
+// identical recorder contents produce byte-identical files.
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes the recorder's metrics in Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, r *Recorder) error {
+	if r == nil {
+		r = &Recorder{}
+	}
+	var b strings.Builder
+
+	// Request counts and latency histograms, keyed (function, outcome).
+	keys := sortedKeys(r.hists)
+	b.WriteString("# HELP fluidfaas_requests_total Finalised requests by function and outcome.\n")
+	b.WriteString("# TYPE fluidfaas_requests_total counter\n")
+	for _, k := range keys {
+		fn, outcome, _ := strings.Cut(k, histKeySep)
+		fmt.Fprintf(&b, "fluidfaas_requests_total{func=%q,outcome=%q} %d\n",
+			fn, outcome, r.hists[k].N)
+	}
+	b.WriteString("# HELP fluidfaas_request_latency_seconds End-to-end request latency.\n")
+	b.WriteString("# TYPE fluidfaas_request_latency_seconds histogram\n")
+	for _, k := range keys {
+		fn, outcome, _ := strings.Cut(k, histKeySep)
+		h := r.hists[k]
+		cum := h.Cumulative()
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(&b, "fluidfaas_request_latency_seconds_bucket{func=%q,outcome=%q,le=%q} %d\n",
+				fn, outcome, promFloat(bound), cum[i])
+		}
+		fmt.Fprintf(&b, "fluidfaas_request_latency_seconds_bucket{func=%q,outcome=%q,le=\"+Inf\"} %d\n",
+			fn, outcome, h.N)
+		fmt.Fprintf(&b, "fluidfaas_request_latency_seconds_sum{func=%q,outcome=%q} %s\n",
+			fn, outcome, promFloat(h.Sum))
+		fmt.Fprintf(&b, "fluidfaas_request_latency_seconds_count{func=%q,outcome=%q} %d\n",
+			fn, outcome, h.N)
+	}
+
+	// Per-slice busy/idle utilisation counters, in track registration
+	// order (stable and topology-meaningful).
+	b.WriteString("# HELP fluidfaas_slice_busy_seconds_total Busy (load+exec) seconds per MIG slice.\n")
+	b.WriteString("# TYPE fluidfaas_slice_busy_seconds_total counter\n")
+	for _, tr := range r.Tracks() {
+		fmt.Fprintf(&b, "fluidfaas_slice_busy_seconds_total{node=\"%d\",slice=%q} %s\n",
+			tr.Node, tr.Name, promFloat(r.BusySeconds(tr.Name)))
+	}
+	if d := r.Duration(); d > 0 {
+		b.WriteString("# HELP fluidfaas_slice_utilisation Busy fraction of the run per MIG slice.\n")
+		b.WriteString("# TYPE fluidfaas_slice_utilisation gauge\n")
+		for _, tr := range r.Tracks() {
+			fmt.Fprintf(&b, "fluidfaas_slice_utilisation{node=\"%d\",slice=%q} %s\n",
+				tr.Node, tr.Name, promFloat(r.BusySeconds(tr.Name)/d))
+		}
+	}
+
+	// Lifecycle event totals by kind.
+	b.WriteString("# HELP fluidfaas_events_total Platform lifecycle events by kind.\n")
+	b.WriteString("# TYPE fluidfaas_events_total counter\n")
+	for _, k := range sortedKeys(r.marks) {
+		fmt.Fprintf(&b, "fluidfaas_events_total{kind=%q} %d\n", k, r.marks[k])
+	}
+
+	// Driver-set gauges (e.g. ring-dropped events, run duration).
+	if len(r.gauges) > 0 {
+		names := sortedKeys(r.gauges)
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(r.gauges[n]))
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

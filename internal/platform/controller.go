@@ -17,6 +17,9 @@ import (
 // scale-up).
 func (p *Platform) route(rq *request) {
 	fn := rq.fn
+	// Tracing: the attempt's queue span starts here (arrival, or the
+	// retry re-route instant). Pure bookkeeping, no behaviour.
+	rq.waitStart = p.eng.Now()
 	if p.opts.Overload.Enabled() && p.admissionReject(rq) {
 		return
 	}

@@ -1,6 +1,11 @@
 package platform
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"fluidfaas/internal/obs"
+)
 
 // EventKind classifies platform lifecycle events.
 type EventKind int
@@ -104,54 +109,61 @@ func (e Event) String() string {
 	return fmt.Sprintf("%8.2fs %-11s %-30s %s", e.Time, e.Kind, e.Subject, e.Detail)
 }
 
-// eventLog is a bounded ring of recent events.
-type eventLog struct {
-	buf   []Event
-	next  int
-	total int
+// eventKindNames maps parseable names to kinds, for -events-kind style
+// filters. Kept in sync with String by TestEventKindNames.
+var eventKindNames = map[string]EventKind{
+	"launch": EvLaunch, "release": EvRelease, "demote": EvDemote,
+	"promote": EvPromote, "evict": EvEvict, "cold": EvCold,
+	"migrate": EvMigrate, "drop": EvDrop, "pool-grow": EvPoolGrow,
+	"pool-shrink": EvPoolShrink, "fault": EvFault, "recover": EvRecover,
+	"retry": EvRetry, "reject": EvReject, "shed": EvShed,
+	"brownout": EvBrownout, "contract": EvContract,
 }
 
-const eventLogCap = 4096
-
-func (l *eventLog) add(e Event) {
-	if cap(l.buf) == 0 {
-		l.buf = make([]Event, 0, eventLogCap)
+// ParseEventKind resolves an event-kind name ("fault", "retry", ...)
+// as rendered by EventKind.String.
+func ParseEventKind(name string) (EventKind, error) {
+	if k, ok := eventKindNames[strings.TrimSpace(name)]; ok {
+		return k, nil
 	}
-	if len(l.buf) < eventLogCap {
-		l.buf = append(l.buf, e)
-	} else {
-		l.buf[l.next] = e
-	}
-	l.next = (l.next + 1) % eventLogCap
-	l.total++
+	return 0, fmt.Errorf("platform: unknown event kind %q", name)
 }
 
-// snapshot returns events oldest-first.
-func (l *eventLog) snapshot() []Event {
-	if len(l.buf) < eventLogCap {
-		out := make([]Event, len(l.buf))
-		copy(out, l.buf)
-		return out
-	}
-	out := make([]Event, 0, eventLogCap)
-	out = append(out, l.buf[l.next:]...)
-	out = append(out, l.buf[:l.next]...)
-	return out
-}
+// eventLogCap is the default bound on retained events
+// (Options.EventLogCap overrides it).
+const eventLogCap = obs.DefaultBusCapacity
 
-// logEvent records a lifecycle event.
+// logEvent publishes a lifecycle event: subscribers see it losslessly,
+// the bounded ring retains it for Events().
 func (p *Platform) logEvent(kind EventKind, subject, detail string) {
-	p.events.add(Event{Time: p.eng.Now(), Kind: kind, Subject: subject, Detail: detail})
+	p.events.Publish(Event{Time: p.eng.Now(), Kind: kind, Subject: subject, Detail: detail})
 }
 
-// Events returns the retained lifecycle events, oldest first (the log
-// keeps the most recent 4096).
-func (p *Platform) Events() []Event { return p.events.snapshot() }
+// EventBus exposes the lifecycle event stream. Subscribe before Run to
+// observe every event without ring loss; subscribers must only observe
+// (mutating platform state from a subscriber breaks determinism
+// guarantees).
+func (p *Platform) EventBus() *obs.Bus[Event] { return p.events }
 
-// CountEvents tallies retained events by kind.
+// Events returns the retained lifecycle events, oldest first (the ring
+// keeps the most recent Options.EventLogCap, default 4096; see
+// TotalEvents and DroppedEvents for what fell off).
+func (p *Platform) Events() []Event { return p.events.Snapshot() }
+
+// TotalEvents returns how many lifecycle events the run ever published,
+// including those the bounded ring has since overwritten.
+func (p *Platform) TotalEvents() int { return p.events.Total() }
+
+// DroppedEvents returns how many lifecycle events the bounded ring
+// overwrote (subscribers saw them; Events() no longer does).
+func (p *Platform) DroppedEvents() int { return p.events.Dropped() }
+
+// CountEvents tallies retained events by kind. When the ring has
+// wrapped (DroppedEvents() > 0) this undercounts; subscribe to the
+// EventBus for lossless tallies.
 func (p *Platform) CountEvents() map[EventKind]int {
 	out := map[EventKind]int{}
-	for _, e := range p.events.snapshot() {
+	for _, e := range p.events.Snapshot() {
 		out[e.Kind]++
 	}
 	return out

@@ -285,5 +285,6 @@ func (p *Platform) retryAfterFault(rq *request, reason string) {
 	rq.rec.Retries++
 	p.retries++
 	p.logEvent(EvRetry, rq.fn.spec.Name, reason)
+	p.opts.Obs.AsyncMark("retry", "retry", rq.rec.Func, rq.rec.ID, now, reason)
 	p.eng.After(backoff, func() { p.route(rq) })
 }

@@ -133,6 +133,12 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 	} else {
 		resume()
 	}
+	if r := p.opts.Obs; r != nil && loadTime > 0 {
+		for si, sl := range slices {
+			r.SliceSpan("load", "load "+fn.spec.Name, sl.ID(),
+				fn.spec.ID, -1, si, now, now+loadTime)
+		}
+	}
 	inst.tracker.Touch(now)
 	fn.instances = append(fn.instances, inst)
 	fn.sortInstances()
@@ -200,6 +206,14 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 			rq.rec.Exec += sp.ExecTime
 			sl.SetActive(true, now)
 			inst.tracker.Begin(now)
+			if r := p.opts.Obs; r != nil {
+				if si == 0 {
+					r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID,
+						rq.waitStart, now, "")
+				}
+				r.SliceSpan("exec", "exec "+inst.fn.spec.Name, sl.ID(),
+					rq.rec.Func, rq.rec.ID, si, now, now+sp.ExecTime)
+			}
 			return sp.ExecTime
 		},
 		Done: func() {
@@ -211,6 +225,8 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 			inst.tracker.End(now)
 			if si+1 < len(inst.stations) {
 				rq.rec.Transfer += sp.TransferOut
+				p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
+					rq.rec.Func, rq.rec.ID, si, now, now+sp.TransferOut)
 				p.eng.After(sp.TransferOut, func() {
 					inst.enqueueStage(p, rq, si+1)
 				})
@@ -238,9 +254,23 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 		if inst.failed {
 			return
 		}
-		rq.rec.Exec += sp.ExecTime * math.Pow(float64(n), p.opts.BatchGamma)
+		dur := sp.ExecTime * math.Pow(float64(n), p.opts.BatchGamma)
+		rq.rec.Exec += dur
+		if r := p.opts.Obs; r != nil {
+			// The batch callback fires at completion, so the exec span
+			// runs backwards from now over the batch duration.
+			now := p.eng.Now()
+			if si == 0 {
+				r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID,
+					rq.waitStart, now-dur, "")
+			}
+			r.SliceSpan("exec", "exec "+inst.fn.spec.Name, inst.slices[si].ID(),
+				rq.rec.Func, rq.rec.ID, si, now-dur, now)
+		}
 		if si+1 < len(inst.bstations) {
 			rq.rec.Transfer += sp.TransferOut
+			p.opts.Obs.SliceSpan("transfer", "transfer", inst.slices[si].ID(),
+				rq.rec.Func, rq.rec.ID, si, p.eng.Now(), p.eng.Now()+sp.TransferOut)
 			p.eng.After(sp.TransferOut, func() {
 				inst.enqueueStageBatched(p, rq, si+1)
 			})

@@ -8,6 +8,7 @@ import (
 	"fluidfaas/internal/dnn"
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs"
 	"fluidfaas/internal/scheduler"
 	"fluidfaas/internal/trace"
 )
@@ -334,19 +335,76 @@ func TestEventLog(t *testing.T) {
 	}
 }
 
-// TestEventLogRing: the ring keeps only the newest entries.
+// TestEventLogRing: the ring keeps only the newest entries, and the
+// platform reports what fell off instead of dropping silently.
 func TestEventLogRing(t *testing.T) {
-	var l eventLog
+	l := obs.NewBus[Event](eventLogCap)
 	for i := 0; i < eventLogCap+10; i++ {
-		l.add(Event{Time: float64(i)})
+		l.Publish(Event{Time: float64(i)})
 	}
-	snap := l.snapshot()
+	snap := l.Snapshot()
 	if len(snap) != eventLogCap {
 		t.Fatalf("snapshot = %d, want %d", len(snap), eventLogCap)
 	}
 	if snap[0].Time != 10 || snap[len(snap)-1].Time != float64(eventLogCap+9) {
 		t.Errorf("ring window = [%v, %v], want [10, %d]",
 			snap[0].Time, snap[len(snap)-1].Time, eventLogCap+9)
+	}
+	if l.Total() != eventLogCap+10 || l.Dropped() != 10 {
+		t.Errorf("total/dropped = %d/%d, want %d/10", l.Total(), l.Dropped(), eventLogCap+10)
+	}
+}
+
+// TestEventLogCapConfigurable: a platform run with a tiny ring retains
+// only that many events, counts the overflow, and a bus subscriber
+// still sees every event losslessly.
+func TestEventLogCapConfigurable(t *testing.T) {
+	specs := specsFor(t, dnn.Medium)
+	cl := smallCluster(8)
+	p := New(cl, specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: 23, EventLogCap: 16})
+	var streamed []Event
+	p.EventBus().Subscribe(func(e Event) { streamed = append(streamed, e) })
+	tr := flatTrace(specs, 8, 150, 23)
+	p.Run(tr, 40)
+
+	if p.TotalEvents() <= 16 {
+		t.Skipf("run produced only %d events; cannot exercise wraparound", p.TotalEvents())
+	}
+	evs := p.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want ring cap 16", len(evs))
+	}
+	if got := p.DroppedEvents(); got != p.TotalEvents()-16 {
+		t.Errorf("DroppedEvents = %d, want %d", got, p.TotalEvents()-16)
+	}
+	if len(streamed) != p.TotalEvents() {
+		t.Errorf("subscriber saw %d of %d events; the bus must be lossless",
+			len(streamed), p.TotalEvents())
+	}
+	// The ring holds exactly the newest events, in order.
+	tail := streamed[len(streamed)-16:]
+	for i, e := range evs {
+		if e != tail[i] {
+			t.Fatalf("ring[%d] = %+v, want newest-16 window %+v", i, e, tail[i])
+		}
+	}
+}
+
+// TestEventKindNames: every EventKind round-trips through its String
+// form and ParseEventKind.
+func TestEventKindNames(t *testing.T) {
+	for k := EvLaunch; k <= EvContract; k++ {
+		got, err := ParseEventKind(k.String())
+		if err != nil {
+			t.Errorf("ParseEventKind(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseEventKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseEventKind("no-such-kind"); err == nil {
+		t.Error("ParseEventKind accepted an unknown name")
 	}
 }
 

@@ -453,6 +453,16 @@ func (ss *sharedSlice) kick(p *Platform) {
 	ss.servingWork = load + exec
 	ss.lru.Touch(b.fn.spec.Name)
 	ss.slice.SetActive(true, now)
+	if r := p.opts.Obs; r != nil {
+		rq := job.rq
+		r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID, rq.waitStart, now, "")
+		if load > 0 {
+			r.SliceSpan("load", "load "+b.fn.spec.Name, ss.slice.ID(),
+				rq.rec.Func, rq.rec.ID, -1, now, now+load)
+		}
+		r.SliceSpan("exec", "exec "+b.fn.spec.Name, ss.slice.ID(),
+			rq.rec.Func, rq.rec.ID, -1, now+load, now+load+exec)
+	}
 	p.eng.After(load+exec, func() {
 		if ss.failed {
 			// The slice died mid-service; the fault handler already

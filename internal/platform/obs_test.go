@@ -1,0 +1,156 @@
+package platform
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/faults"
+	"fluidfaas/internal/obs"
+	"fluidfaas/internal/scheduler"
+)
+
+// runWithObs runs one platform simulation, optionally instrumented.
+func runWithObs(t *testing.T, rec *obs.Recorder, seed int64) *Platform {
+	t.Helper()
+	specs := specsFor(t, dnn.Medium)
+	cl := cluster.New(cluster.DefaultSpec())
+	p := New(cl, specs, Options{Policy: &scheduler.FluidFaaS{}, Seed: seed, Obs: rec})
+	tr := flatTrace(specs, 8, 120, seed)
+	p.Run(tr, 40)
+	return p
+}
+
+// TestObsZeroCostIdentity: attaching a recorder must not change a
+// single request outcome or platform counter — the observability layer
+// observes, it never participates. This is the "disabled means
+// bit-for-bit identical" acceptance criterion run in reverse.
+func TestObsZeroCostIdentity(t *testing.T) {
+	plain := runWithObs(t, nil, 77)
+	traced := runWithObs(t, obs.NewRecorder(), 77)
+
+	a, b := plain.Collector().Records(), traced.Collector().Records()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("request records diverge with observability attached: %d vs %d records", len(a), len(b))
+	}
+	if plain.Launched() != traced.Launched() ||
+		plain.Evictions() != traced.Evictions() ||
+		plain.Migrations() != traced.Migrations() ||
+		plain.TotalEvents() != traced.TotalEvents() {
+		t.Fatal("platform counters diverge with observability attached")
+	}
+	if !reflect.DeepEqual(plain.UtilGPCs, traced.UtilGPCs) {
+		t.Fatal("utilisation timeline diverges with observability attached")
+	}
+}
+
+// TestObsSpansCoverRun: an instrumented run produces request chains
+// with queue spans, slice-track exec spans on registered MIG tracks,
+// and lifecycle marks mirrored off the event bus.
+func TestObsSpansCoverRun(t *testing.T) {
+	rec := obs.NewRecorder()
+	p := runWithObs(t, rec, 23)
+
+	tracks := map[string]bool{}
+	for _, tr := range rec.Tracks() {
+		tracks[tr.Name] = true
+	}
+	var nSlices int
+	for _, node := range p.Cluster().Nodes {
+		for _, g := range node.GPUs {
+			nSlices += len(g.Slices)
+		}
+	}
+	if len(tracks) != nSlices {
+		t.Fatalf("registered %d tracks, want one per MIG slice (%d)", len(tracks), nSlices)
+	}
+
+	kinds := map[string]int{}
+	for _, sp := range rec.Spans() {
+		kinds[sp.Cat]++
+		if sp.End < sp.Start {
+			t.Fatalf("span %+v runs backwards", sp)
+		}
+		if sp.Kind == obs.KindSlice && !tracks[sp.Track] {
+			t.Fatalf("slice span on unregistered track %q", sp.Track)
+		}
+	}
+	for _, cat := range []string{"request", "queue", "exec", "load", "event"} {
+		if kinds[cat] == 0 {
+			t.Errorf("no %q spans recorded", cat)
+		}
+	}
+	// Every finalised request has exactly one request chain span.
+	if kinds["request"] != p.Collector().Len() {
+		t.Errorf("request spans = %d, want one per record (%d)",
+			kinds["request"], p.Collector().Len())
+	}
+	// Lifecycle marks mirror the event bus losslessly.
+	if got := rec.MarkCount(EvLaunch.String()); got != p.CountEvents()[EvLaunch] && p.DroppedEvents() == 0 {
+		t.Errorf("launch marks = %d, events = %d", got, p.CountEvents()[EvLaunch])
+	}
+	if rec.Duration() <= 0 {
+		t.Error("run duration not recorded")
+	}
+	// Busy seconds accumulated on at least one slice track.
+	busy := 0.0
+	for name := range tracks {
+		busy += rec.BusySeconds(name)
+	}
+	if busy <= 0 {
+		t.Error("no busy time accumulated on any slice track")
+	}
+}
+
+// TestObsExportsDeterministic: same seed, two runs ⇒ byte-identical
+// Chrome trace and Prometheus exports.
+func TestObsExportsDeterministic(t *testing.T) {
+	var traces, proms [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		rec := obs.NewRecorder()
+		runWithObs(t, rec, 55)
+		if err := obs.WriteChromeTrace(&traces[i], rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WritePrometheus(&proms[i], rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) {
+		t.Error("Chrome trace export differs across same-seed runs")
+	}
+	if !bytes.Equal(proms[0].Bytes(), proms[1].Bytes()) {
+		t.Error("Prometheus export differs across same-seed runs")
+	}
+}
+
+// TestObsRetryMarks: a faulty run records retry hops on the request
+// chains it re-routed.
+func TestObsRetryMarks(t *testing.T) {
+	specs := specsFor(t, dnn.Medium)
+	cl := cluster.New(cluster.DefaultSpec())
+	rec := obs.NewRecorder()
+	p := New(cl, specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 9, Obs: rec,
+		Faults: &faults.Spec{SliceRate: 0.1, SliceMTTR: 30},
+	})
+	tr := flatTrace(specs, 8, 150, 9)
+	p.Run(tr, 40)
+	if p.Retries() == 0 {
+		t.Skip("fault schedule produced no retries at this seed")
+	}
+	marks := 0
+	for _, sp := range rec.Spans() {
+		if sp.Kind == obs.KindAsyncMark && sp.Cat == "retry" {
+			marks++
+			if sp.Req < 0 || sp.Detail == "" {
+				t.Fatalf("retry mark missing identity or reason: %+v", sp)
+			}
+		}
+	}
+	if marks != p.Retries() {
+		t.Errorf("retry marks = %d, platform retries = %d", marks, p.Retries())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fluidfaas/internal/faults"
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/scheduler"
 	"fluidfaas/internal/sim"
@@ -94,6 +95,16 @@ type Options struct {
 	// slices, and the brownout degradation ladder. The zero value
 	// turns all three off, leaving runs bit-for-bit identical.
 	Overload overload.Config
+	// Obs, when set, records per-request traces (typed spans on one
+	// track per MIG slice), lifecycle instants, and exportable metrics
+	// (latency histograms, per-slice busy counters). The recorder is a
+	// pure observer: a run with Obs attached is bit-for-bit identical
+	// to one without (nil short-circuits every instrumentation point).
+	Obs *obs.Recorder
+	// EventLogCap bounds the retained lifecycle-event ring (default
+	// 4096). Subscribers on the EventBus see every event regardless;
+	// the ring only limits after-the-fact Events() inspection.
+	EventLogCap int
 	// OnSample, when set, is called every SamplePeriod with the current
 	// virtual time and the cluster, so experiments can record custom
 	// series (e.g. per-slice-type activity for Fig. 3b).
@@ -190,6 +201,10 @@ type request struct {
 	// attempts counts hardware failures this request has suffered; the
 	// retry policy bounds how many it may survive.
 	attempts int
+	// waitStart is when the current attempt began waiting (arrival, or
+	// the retry re-route instant). Tracing-only: the queue span of the
+	// attempt runs from waitStart to service start.
+	waitStart float64
 	// snapExec/snapLoad/snapTransfer snapshot the latency breakdown at
 	// admission, so a failed attempt's partial accounting can be rolled
 	// back (the wasted time then lands in Queue as the residual).
@@ -222,7 +237,7 @@ type Platform struct {
 	// how shattered the unallocated compute is (§4).
 	Fragmentation metrics.Timeline
 
-	events eventLog
+	events *obs.Bus[Event]
 
 	instSeq   int
 	launched  int  // instances launched, for diagnostics
@@ -262,6 +277,24 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 	}
 	p.opts.Overload = p.opts.Overload.Defaulted()
 	p.ladder = overload.NewLadder(p.opts.Overload)
+	if p.opts.EventLogCap <= 0 {
+		p.opts.EventLogCap = eventLogCap
+	}
+	p.events = obs.NewBus[Event](p.opts.EventLogCap)
+	if rec := p.opts.Obs; rec != nil {
+		// One trace track per MIG slice, in topology order, and a
+		// lossless mirror of the lifecycle stream into the recorder.
+		for _, node := range cl.Nodes {
+			for _, g := range node.GPUs {
+				for _, sl := range g.Slices {
+					rec.RegisterTrack(node.ID, sl.ID())
+				}
+			}
+		}
+		p.events.Subscribe(func(e Event) {
+			rec.Mark(e.Kind.String(), e.Subject, e.Time, e.Detail)
+		})
+	}
 	for i, spec := range specs {
 		if spec.ID != i {
 			panic(fmt.Sprintf("platform: spec %d has ID %d; IDs must be dense", i, spec.ID))
@@ -361,6 +394,7 @@ func (p *Platform) Run(tr *trace.Trace, drain float64) {
 		}
 		fn.pending = nil
 	}
+	p.opts.Obs.SetDuration(end)
 }
 
 // arrive is the load balancer entry point.
@@ -409,8 +443,27 @@ func (p *Platform) complete(rq *request) {
 // record finalises a request record and notifies the OnComplete hook.
 func (p *Platform) record(rec metrics.RequestRecord) {
 	p.col.Record(rec)
+	if r := p.opts.Obs; r != nil {
+		name, outcome := p.funcs[rec.Func].spec.Name, recordOutcome(rec)
+		r.Request(name, outcome, rec.Latency())
+		r.AsyncSpan("request", name, rec.Func, rec.ID, rec.Arrival, rec.Completion, outcome)
+	}
 	if p.opts.OnComplete != nil {
 		p.opts.OnComplete(rec)
+	}
+}
+
+// recordOutcome classifies a finalised record for the metrics export.
+func recordOutcome(rec metrics.RequestRecord) string {
+	switch {
+	case rec.Rejected:
+		return "rejected"
+	case rec.Failed:
+		return "failed"
+	case rec.Dropped:
+		return "dropped"
+	default:
+		return "served"
 	}
 }
 
