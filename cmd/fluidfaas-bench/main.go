@@ -15,13 +15,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|all")
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|all")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	loads := flag.String("loads", "", "comma-separated load multipliers for -exp overload (default 1,2,4)")
 	csvDir := flag.String("csv", "", "also write plot series (Fig. 3a, Fig. 16 timelines, CDFs) as CSV files into this directory")
 	traceOut := flag.String("trace-out", "", "also run an instrumented fluidfaas/medium capture and write its Chrome trace-event JSON here")
 	metricsOut := flag.String("metrics-out", "", "also run an instrumented fluidfaas/medium capture and write its Prometheus metrics here")
+	jsonOut := flag.String("json-out", "", "write a machine-readable BENCH_<exp>.json (end-to-end matrix + span analytics) into this directory")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -33,7 +34,7 @@ func main() {
 		"fig13": true, "fig14": true, "fig16": true, "table6": true, "all": true,
 	}
 	var e2e *experiments.EndToEnd
-	if needE2E[*exp] {
+	if needE2E[*exp] || *jsonOut != "" {
 		e2e = experiments.RunEndToEnd(cfg)
 	}
 
@@ -110,6 +111,19 @@ func main() {
 		}
 		fmt.Println(experiments.OverloadTable(experiments.RunOverload(cfg, mults)))
 	})
+	show("analytics", func() {
+		ar := experiments.RunAnalytics(cfg)
+		fmt.Println(experiments.AnalyticsBlameTable(ar.Report))
+		fmt.Println(experiments.AnalyticsStragglerTable(ar.Report))
+		fmt.Println(experiments.AnalyticsBurnTable(ar.Report))
+		fmt.Println(experiments.AnalyticsDriftTable(ar.Report))
+		// A batched capture makes the drift detector fire: batched stage
+		// executions run n^gamma longer than the declared profile.
+		bcfg := cfg
+		bcfg.MaxBatch = 4
+		fmt.Println("-- with dynamic batching (MaxBatch=4), where profiles genuinely drift --")
+		fmt.Println(experiments.AnalyticsDriftTable(experiments.RunAnalytics(bcfg).Report))
+	})
 
 	// Observability capture: one extra instrumented run of the paper's
 	// default system and workload, exported for Perfetto / Prometheus.
@@ -143,6 +157,32 @@ func main() {
 		if *metricsOut != "" {
 			writeExport(*metricsOut, func(f *os.File) error { return obs.WritePrometheus(f, ocfg.Obs) })
 		}
+	}
+
+	// Machine-readable bench document: end-to-end matrix plus the span
+	// analytics of an instrumented fluidfaas/medium capture.
+	if *jsonOut != "" {
+		if err := os.MkdirAll(*jsonOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ar := experiments.RunAnalytics(cfg)
+		path := filepath.Join(*jsonOut, fmt.Sprintf("BENCH_%s.json", *exp))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
 	if flag.NArg() > 0 {

@@ -6,12 +6,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"fluidfaas/internal/experiments"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
+	"fluidfaas/internal/obs/analytics"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
 )
@@ -26,6 +29,7 @@ func main() {
 	eventsKind := flag.String("events-kind", "", "only print lifecycle events of these kinds (comma-separated, e.g. fault,retry); collected losslessly off the event bus")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto / chrome://tracing)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-exposition metrics to this file")
+	serve := flag.String("serve", "", "after the run, serve live introspection on this address (e.g. 127.0.0.1:8080): /metrics, /analytics, /state, /debug/pprof; blocks until killed")
 	flag.Parse()
 
 	var pol scheduler.Policy
@@ -69,12 +73,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Observability: a recorder only when an export is requested (the
-	// nil default keeps the run on the zero-cost path), and a lossless
-	// bus subscriber when an event-kind filter is active (the retained
-	// ring is bounded; the filter must not miss wrapped events).
-	if *traceOut != "" || *metricsOut != "" {
+	// Observability: a recorder only when an export or the introspection
+	// server is requested (the nil default keeps the run on the
+	// zero-cost path), and a lossless bus subscriber when an event-kind
+	// filter is active (the retained ring is bounded; the filter must
+	// not miss wrapped events).
+	if *traceOut != "" || *metricsOut != "" || *serve != "" {
 		cfg.Obs = obs.NewRecorder()
+	}
+	var snap platform.Snapshot
+	if *serve != "" {
+		cfg.OnPlatform = func(p *platform.Platform) { snap = p.Snapshot() }
 	}
 	var filtered []platform.Event
 	if *eventsKind != "" {
@@ -154,6 +163,29 @@ func main() {
 		}
 		if *metricsOut != "" {
 			writeExport(*metricsOut, func(f *os.File) error { return obs.WritePrometheus(f, rec) })
+		}
+	}
+
+	// Live introspection: analyse the finished run and serve it. The
+	// recorder is no longer written to, so serving is race-free; the
+	// listener comes up before the address is announced so scripts can
+	// curl as soon as they see the line.
+	if *serve != "" {
+		rec := cfg.Obs
+		h := analytics.Handler(analytics.ServerOptions{
+			Recorder: rec,
+			Report:   analytics.Analyze(analytics.Config{}, rec),
+			State:    snap,
+		})
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving introspection on http://%s\n", ln.Addr())
+		if err := http.Serve(ln, h); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -124,6 +124,10 @@ type Config struct {
 	// EventLogCap bounds the retained lifecycle-event ring (0 = the
 	// platform default, 4096).
 	EventLogCap int
+	// OnPlatform, when set, observes the finished platform after the run
+	// (before RunSystem returns), e.g. to take an introspection
+	// Snapshot. Observers must not mutate the platform.
+	OnPlatform func(*platform.Platform)
 }
 
 func (c Config) withDefaults() Config {
@@ -350,6 +354,9 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		}
 	}
 	res.Fairness = metrics.JainIndex(hits)
+	if cfg.OnPlatform != nil {
+		cfg.OnPlatform(p)
+	}
 	return res
 }
 

@@ -1,0 +1,238 @@
+package analytics
+
+import "sort"
+
+// SLO burn-rate monitoring, after the multi-window multi-burn-rate
+// pattern: an error budget (allowed SLO-miss fraction), a fast window
+// that catches sharp regressions, and a slow window that suppresses
+// pages for blips the budget easily absorbs. An alert fires only when
+// BOTH windows burn faster than a severity's threshold; it resolves
+// when either window drops back under. All windows are virtual-time
+// seconds, so the monitor is as deterministic as the simulation feeding
+// it: replaying a run's request log reproduces the alert sequence
+// byte-for-byte.
+
+// BurnSeverity orders alert severities.
+type BurnSeverity int
+
+// Severities: a page means the budget is being consumed so fast that
+// hours remain; a warn means days.
+const (
+	BurnNone BurnSeverity = iota
+	BurnWarn
+	BurnPage
+)
+
+// String renders the severity for reports.
+func (s BurnSeverity) String() string {
+	switch s {
+	case BurnPage:
+		return "page"
+	case BurnWarn:
+		return "warn"
+	default:
+		return "none"
+	}
+}
+
+// BurnAlert is one alert transition on a function's burn state.
+type BurnAlert struct {
+	Time     float64 `json:"time"`
+	Func     string  `json:"func"`
+	Severity string  `json:"severity"`
+	// Resolved marks the severity de-escalating rather than firing.
+	Resolved bool `json:"resolved"`
+	// ShortBurn and LongBurn are the burn rates (miss-rate / budget) in
+	// the two windows at the transition instant.
+	ShortBurn float64 `json:"shortBurn"`
+	LongBurn  float64 `json:"longBurn"`
+}
+
+// BurnStatus is one function's burn state at end of run.
+type BurnStatus struct {
+	Func      string  `json:"func"`
+	Budget    float64 `json:"budget"`
+	ShortBurn float64 `json:"shortBurn"`
+	LongBurn  float64 `json:"longBurn"`
+	// Misses and Total count over the whole run, not a window.
+	Misses int `json:"misses"`
+	Total  int `json:"total"`
+	// Active is the severity still firing when the run ended.
+	Active string `json:"active"`
+	// Pages and Warns count fire transitions over the run.
+	Pages int `json:"pages"`
+	Warns int `json:"warns"`
+}
+
+// burnSample is one finalised request in a window deque.
+type burnSample struct {
+	t    float64
+	miss bool
+}
+
+// burnWindow is a sliding miss-rate window over virtual time.
+type burnWindow struct {
+	width   float64
+	samples []burnSample
+	head    int // index of the oldest in-window sample
+	misses  int
+	total   int
+}
+
+func (w *burnWindow) observe(t float64, miss bool) {
+	w.samples = append(w.samples, burnSample{t, miss})
+	w.total++
+	if miss {
+		w.misses++
+	}
+	for w.head < len(w.samples) && w.samples[w.head].t < t-w.width {
+		if w.samples[w.head].miss {
+			w.misses--
+		}
+		w.total--
+		w.head++
+	}
+	// Reclaim the dead prefix once it dominates the deque.
+	if w.head > 1024 && w.head*2 > len(w.samples) {
+		w.samples = append([]burnSample(nil), w.samples[w.head:]...)
+		w.head = 0
+	}
+}
+
+// burn returns the window's burn rate: miss-rate divided by budget.
+// An empty window burns nothing.
+func (w *burnWindow) burn(budget float64) float64 {
+	if w.total == 0 || budget <= 0 {
+		return 0
+	}
+	return float64(w.misses) / float64(w.total) / budget
+}
+
+// funcBurn is one function's monitor state.
+type funcBurn struct {
+	short, long burnWindow
+	misses      int
+	total       int
+	active      BurnSeverity
+	pages       int
+	warns       int
+}
+
+// BurnConfig parameterises the monitor; zero fields take defaults.
+type BurnConfig struct {
+	// Budget is the allowed SLO-miss fraction (default 0.01 — a 99%
+	// objective).
+	Budget float64
+	// ShortWindow and LongWindow are the two burn windows in seconds
+	// (defaults 300 and 3600).
+	ShortWindow float64
+	LongWindow  float64
+	// PageBurn and WarnBurn are the burn-rate thresholds (defaults 14.4
+	// and 6 — the canonical 1h/6h budget-exhaustion rates).
+	PageBurn float64
+	WarnBurn float64
+}
+
+// withDefaults fills zero fields.
+func (c BurnConfig) withDefaults() BurnConfig {
+	if c.Budget <= 0 {
+		c.Budget = 0.01
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = 300
+	}
+	if c.LongWindow <= 0 {
+		c.LongWindow = 3600
+	}
+	if c.PageBurn <= 0 {
+		c.PageBurn = 14.4
+	}
+	if c.WarnBurn <= 0 {
+		c.WarnBurn = 6
+	}
+	return c
+}
+
+// BurnMonitor tracks per-function SLO burn rates over two sliding
+// virtual-time windows and raises threshold alerts.
+type BurnMonitor struct {
+	cfg    BurnConfig
+	funcs  map[string]*funcBurn
+	alerts []BurnAlert
+}
+
+// NewBurnMonitor returns a monitor with cfg's zero fields defaulted.
+func NewBurnMonitor(cfg BurnConfig) *BurnMonitor {
+	return &BurnMonitor{cfg: cfg.withDefaults(), funcs: map[string]*funcBurn{}}
+}
+
+// Observe feeds one finalised request (times must be non-decreasing,
+// which completion order guarantees) and returns the alert transition
+// it caused, if any.
+func (m *BurnMonitor) Observe(fn string, t float64, miss bool) *BurnAlert {
+	fb, ok := m.funcs[fn]
+	if !ok {
+		fb = &funcBurn{
+			short: burnWindow{width: m.cfg.ShortWindow},
+			long:  burnWindow{width: m.cfg.LongWindow},
+		}
+		m.funcs[fn] = fb
+	}
+	fb.total++
+	if miss {
+		fb.misses++
+	}
+	fb.short.observe(t, miss)
+	fb.long.observe(t, miss)
+
+	sb := fb.short.burn(m.cfg.Budget)
+	lb := fb.long.burn(m.cfg.Budget)
+	level := BurnNone
+	switch {
+	case sb >= m.cfg.PageBurn && lb >= m.cfg.PageBurn:
+		level = BurnPage
+	case sb >= m.cfg.WarnBurn && lb >= m.cfg.WarnBurn:
+		level = BurnWarn
+	}
+	if level == fb.active {
+		return nil
+	}
+	resolved := level < fb.active
+	fb.active = level
+	if !resolved {
+		switch level {
+		case BurnPage:
+			fb.pages++
+		case BurnWarn:
+			fb.warns++
+		}
+	}
+	// A resolve reports the level transitioned TO, so the alert stream
+	// reads as a state machine (page -> warn -> none).
+	a := BurnAlert{
+		Time: t, Func: fn, Severity: level.String(), Resolved: resolved,
+		ShortBurn: sb, LongBurn: lb,
+	}
+	m.alerts = append(m.alerts, a)
+	return &a
+}
+
+// Alerts returns every alert transition in firing order.
+func (m *BurnMonitor) Alerts() []BurnAlert { return m.alerts }
+
+// Status returns per-function burn state, sorted by function name.
+func (m *BurnMonitor) Status() []BurnStatus {
+	out := make([]BurnStatus, 0, len(m.funcs))
+	for fn, fb := range m.funcs {
+		out = append(out, BurnStatus{
+			Func: fn, Budget: m.cfg.Budget,
+			ShortBurn: fb.short.burn(m.cfg.Budget),
+			LongBurn:  fb.long.burn(m.cfg.Budget),
+			Misses:    fb.misses, Total: fb.total,
+			Active: fb.active.String(),
+			Pages:  fb.pages, Warns: fb.warns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out
+}

@@ -1,0 +1,82 @@
+package analytics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"fluidfaas/internal/obs"
+)
+
+// Live introspection: an opt-in HTTP handler that exposes a finished
+// (or running) recorder. Endpoints:
+//
+//	/metrics      — Prometheus text exposition (scrape-compatible)
+//	/analytics    — the full analytics Report as JSON
+//	/state        — a driver-supplied platform snapshot as JSON
+//	/debug/pprof/ — the standard Go profiler endpoints
+//
+// The handler holds references, not copies: serving after the run is
+// finished (the simulator's model — run to completion, then serve) is
+// race-free because nothing mutates the recorder any more.
+
+// ServerOptions wires the handler's data sources. Nil/zero fields are
+// served as empty documents rather than errors, so a partially wired
+// server is still inspectable.
+type ServerOptions struct {
+	// Recorder backs /metrics.
+	Recorder *obs.Recorder
+	// Report backs /analytics; nil serves an empty report.
+	Report *Report
+	// State backs /state: any JSON-marshalable value, typically the
+	// platform's occupancy snapshot. Kept as an opaque value so this
+	// package does not depend on the platform.
+	State any
+}
+
+// Handler returns the introspection mux.
+func Handler(o ServerOptions) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, o.Recorder)
+	})
+
+	mux.HandleFunc("/analytics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rp := o.Report
+		if rp == nil {
+			rp = &Report{}
+		}
+		_ = rp.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.State)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("fluidfaas introspection\n\n" +
+			"/metrics      Prometheus text exposition\n" +
+			"/analytics    blame / drift / burn report (JSON)\n" +
+			"/state        platform snapshot (JSON)\n" +
+			"/debug/pprof  Go profiler\n"))
+	})
+
+	return mux
+}

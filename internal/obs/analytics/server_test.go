@@ -1,0 +1,88 @@
+package analytics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the handler and returns status and body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerEndpoints: the introspection handler serves Prometheus
+// metrics, a JSON analytics report, and a JSON state snapshot.
+func TestServerEndpoints(t *testing.T) {
+	rec := synthRecorder()
+	srv := httptest.NewServer(Handler(ServerOptions{
+		Recorder: rec,
+		Report:   Analyze(Config{}, rec),
+		State:    map[string]int{"slices": 4},
+	}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "fluidfaas_requests_total") {
+		t.Errorf("/metrics: code %d body %.80q", code, body)
+	}
+
+	code, body = get(t, srv, "/analytics")
+	if code != 200 {
+		t.Fatalf("/analytics: code %d", code)
+	}
+	var rp Report
+	if err := json.Unmarshal([]byte(body), &rp); err != nil {
+		t.Fatalf("/analytics: not JSON: %v", err)
+	}
+	if rp.Requests != 80 || len(rp.Blame) != 2 {
+		t.Errorf("/analytics: requests %d, blame %d", rp.Requests, len(rp.Blame))
+	}
+
+	code, body = get(t, srv, "/state")
+	var st map[string]int
+	if code != 200 || json.Unmarshal([]byte(body), &st) != nil || st["slices"] != 4 {
+		t.Errorf("/state: code %d body %q", code, body)
+	}
+
+	if code, body = get(t, srv, "/"); code != 200 || !strings.Contains(body, "/analytics") {
+		t.Errorf("index: code %d", code)
+	}
+	if code, _ = get(t, srv, "/nope"); code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+	if code, _ = get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code %d, want 200", code)
+	}
+}
+
+// TestServerEmpty: a server with nothing wired still answers every
+// endpoint with valid documents.
+func TestServerEmpty(t *testing.T) {
+	srv := httptest.NewServer(Handler(ServerOptions{}))
+	defer srv.Close()
+
+	if code, _ := get(t, srv, "/metrics"); code != 200 {
+		t.Errorf("/metrics: code %d", code)
+	}
+	code, body := get(t, srv, "/analytics")
+	var rp Report
+	if code != 200 || json.Unmarshal([]byte(body), &rp) != nil {
+		t.Errorf("/analytics: code %d body %q", code, body)
+	}
+	if code, body := get(t, srv, "/state"); code != 200 || strings.TrimSpace(body) != "null" {
+		t.Errorf("/state: code %d body %q", code, body)
+	}
+}

@@ -73,29 +73,51 @@ func (h *Histogram) Cumulative() []int {
 	return out
 }
 
-// Quantile returns an estimate of the q-quantile (0..1) assuming
-// samples sit at their bucket's upper bound; overflow samples report
-// the last bound. NaN-free: an empty histogram returns 0.
+// Quantile estimates the q-quantile (q in [0,1], clamped) by linear
+// interpolation inside the bucket holding rank q·N, assuming samples
+// are uniformly spread across the bucket — the same estimator as
+// Prometheus's histogram_quantile. Semantics at the edges:
+//
+//   - An empty histogram (or one with no bounds) returns 0, never NaN.
+//   - The first bucket interpolates from a lower edge of 0 (latency
+//     buckets have no negative mass).
+//   - q=0 returns the lower edge of the first non-empty bucket; q=1
+//     the upper bound of the last non-empty one.
+//   - Mass in the +Inf overflow bucket reports the last finite bound —
+//     there is no upper edge to interpolate toward, so quantiles clamp
+//     there (the log-bucket layout keeps the clamp within one factor-2
+//     step of the true value for in-range data).
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.N == 0 || len(h.Bounds) == 0 {
 		return 0
 	}
-	target := int(q * float64(h.N))
-	if target < 1 {
-		target = 1
+	if q < 0 {
+		q = 0
 	}
-	if target > h.N {
-		target = h.N
+	if q > 1 {
+		q = 1
 	}
-	c := 0
+	rank := q * float64(h.N)
+	cum := 0.0
 	for i, n := range h.Counts {
-		c += n
-		if c >= target {
+		if n == 0 {
+			continue
+		}
+		if rank <= cum+float64(n) {
 			if i >= len(h.Bounds) {
 				return h.Bounds[len(h.Bounds)-1]
 			}
-			return h.Bounds[i]
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (h.Bounds[i]-lo)*frac
 		}
+		cum += float64(n)
 	}
 	return h.Bounds[len(h.Bounds)-1]
 }

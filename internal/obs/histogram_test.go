@@ -77,21 +77,50 @@ func TestLatencyHistogramBounds(t *testing.T) {
 	}
 }
 
-// TestHistogramQuantile: quantiles report bucket upper bounds; empty
-// histograms report 0.
+// TestHistogramQuantile: table-driven coverage of the interpolated
+// quantile estimator's documented semantics — empty histograms, the
+// q=0/q=1 edges, single-bucket interpolation from a zero lower edge,
+// and mass in the +Inf overflow bucket clamping to the last bound.
 func TestHistogramQuantile(t *testing.T) {
-	h := NewHistogram([]float64{1, 2, 4})
-	if h.Quantile(0.5) != 0 {
-		t.Error("empty histogram quantile != 0")
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty", []float64{1, 2, 4}, nil, 0.5, 0},
+		{"empty q=1", []float64{1, 2, 4}, nil, 1, 0},
+		// Four samples uniform in bucket (2,4]: rank 2 of 4 ⇒ halfway.
+		{"interpolates within bucket", []float64{1, 2, 4},
+			[]float64{2.5, 2.5, 3.5, 3.5}, 0.5, 3},
+		// q=0 is the lower edge of the first non-empty bucket.
+		{"q=0 lower edge", []float64{1, 2, 4}, []float64{2.5, 3}, 0, 2},
+		{"q=0 first bucket zero edge", []float64{1, 2, 4}, []float64{0.5}, 0, 0},
+		// q=1 is the upper bound of the last non-empty bucket.
+		{"q=1 upper bound", []float64{1, 2, 4}, []float64{0.5, 1.5}, 1, 2},
+		// One bucket holding everything: interpolate across [0, 1].
+		{"single bucket", []float64{1}, []float64{0.2, 0.4, 0.6, 0.8}, 0.5, 0.5},
+		// All mass in +Inf clamps every quantile to the last bound.
+		{"overflow mass", []float64{1, 2, 4}, []float64{10, 20, 30}, 0.5, 4},
+		{"overflow mass q=1", []float64{1, 2, 4}, []float64{10}, 1, 4},
+		// Mixed in-range and overflow: p50 interpolates, p100 clamps.
+		{"mixed overflow p50", []float64{1, 2, 4}, []float64{0.5, 0.5, 1.5, 3, 100}, 0.5, 1.5},
+		{"mixed overflow p100", []float64{1, 2, 4}, []float64{0.5, 0.5, 1.5, 3, 100}, 1, 4},
+		// Out-of-range q clamps rather than extrapolating.
+		{"q below range", []float64{1, 2, 4}, []float64{2.5, 3}, -1, 2},
+		{"q above range", []float64{1, 2, 4}, []float64{0.5, 1.5}, 2, 2},
 	}
-	for _, v := range []float64{0.5, 0.5, 1.5, 3, 100} {
-		h.Observe(v)
-	}
-	if q := h.Quantile(0.5); q != 1 {
-		t.Errorf("p50 = %v, want 1", q)
-	}
-	if q := h.Quantile(1.0); q != 4 {
-		t.Errorf("p100 = %v, want 4 (overflow clamps to last bound)", q)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(c.bounds)
+			for _, v := range c.samples {
+				h.Observe(v)
+			}
+			if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		})
 	}
 }
 

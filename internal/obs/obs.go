@@ -51,8 +51,13 @@ type Span struct {
 	Stage int
 	// Start and End bound the span; instants have Start == End.
 	Start, End float64
-	// Detail is free-form context (event detail, retry reason).
+	// Detail is free-form context (event detail, retry reason; for
+	// exec spans recorded via StageSpan, the slice type).
 	Detail string
+	// Declared is the profiled duration the scheduler assumed for this
+	// span (exec spans only; 0 = no declared baseline). Drift analysis
+	// compares End-Start against it.
+	Declared float64
 }
 
 // Track is one registered hardware track.
@@ -75,6 +80,10 @@ type Recorder struct {
 	// hists holds per-(function, outcome) latency histograms and
 	// counts keyed by `func \xff outcome`.
 	hists map[string]*Histogram
+
+	// reqs is the finalised-request log, in completion order — the
+	// analytics layer's request feed.
+	reqs []RequestObs
 
 	// marks counts instants by name (lifecycle event totals).
 	marks map[string]int
@@ -133,6 +142,26 @@ func (r *Recorder) SliceSpan(cat, name, track string, fn, req, stage int, start,
 		}
 		r.busy[track] += end - start
 	}
+}
+
+// StageSpan records a stage execution on a hardware track together
+// with the declared profile duration the scheduler assumed and the
+// slice type it ran on (kept in Detail). It is the drift detector's
+// input: observed End-Start versus Declared. Busy-seconds accumulate
+// exactly as for an exec SliceSpan.
+func (r *Recorder) StageSpan(name, track, sliceType string, fn, req, stage int, start, end, declared float64) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Kind: KindSlice, Cat: "exec", Name: name, Track: track,
+		Func: fn, Req: req, Stage: stage, Start: start, End: end,
+		Detail: sliceType, Declared: declared,
+	})
+	if r.busy == nil {
+		r.busy = make(map[string]float64)
+	}
+	r.busy[track] += end - start
 }
 
 // AsyncSpan records a duration span on a request's causal chain.
@@ -195,6 +224,55 @@ func (r *Recorder) Request(fn, outcome string, latency float64) {
 		r.hists[key] = h
 	}
 	h.Observe(latency)
+}
+
+// RequestObs is one finalised request as the analytics layer sees it:
+// identity, envelope, SLO and outcome. The recorder keeps them in
+// record order, which is completion order (requests are finalised at
+// their completion instants on the single-threaded engine).
+type RequestObs struct {
+	Func    int
+	Name    string
+	Req     int
+	Arrival float64
+	// Completion is the finalisation time (the drop/reject instant for
+	// requests the platform abandoned).
+	Completion float64
+	SLO        float64
+	Outcome    string // served | dropped | rejected | failed
+	Retries    int
+}
+
+// Latency is the request's end-to-end latency.
+func (o RequestObs) Latency() float64 { return o.Completion - o.Arrival }
+
+// SLOMiss reports whether the request counts against its function's
+// violation budget: any non-served outcome, or a served response later
+// than the SLO. Requests without an SLO never miss.
+func (o RequestObs) SLOMiss() bool {
+	if o.SLO <= 0 {
+		return false
+	}
+	return o.Outcome != "served" || o.Latency() > o.SLO
+}
+
+// ObserveRequest logs a finalised request for analytics and feeds the
+// per-(function, outcome) latency histogram.
+func (r *Recorder) ObserveRequest(o RequestObs) {
+	if r == nil {
+		return
+	}
+	r.reqs = append(r.reqs, o)
+	r.Request(o.Name, o.Outcome, o.Latency())
+}
+
+// RequestLog returns the finalised requests in record (completion)
+// order (shared slice; do not mutate).
+func (r *Recorder) RequestLog() []RequestObs {
+	if r == nil {
+		return nil
+	}
+	return r.reqs
 }
 
 // SetGauge records a driver-supplied scalar metric.

@@ -3,7 +3,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -53,19 +52,25 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 	}
 
 	// Per-slice busy/idle utilisation counters, in track registration
-	// order (stable and topology-meaningful).
+	// order (stable and topology-meaningful). Busy seconds are computed
+	// once per track and feed both series.
+	tracks := r.Tracks()
+	busy := make([]float64, len(tracks))
+	for i, tr := range tracks {
+		busy[i] = r.BusySeconds(tr.Name)
+	}
 	b.WriteString("# HELP fluidfaas_slice_busy_seconds_total Busy (load+exec) seconds per MIG slice.\n")
 	b.WriteString("# TYPE fluidfaas_slice_busy_seconds_total counter\n")
-	for _, tr := range r.Tracks() {
+	for i, tr := range tracks {
 		fmt.Fprintf(&b, "fluidfaas_slice_busy_seconds_total{node=\"%d\",slice=%q} %s\n",
-			tr.Node, tr.Name, promFloat(r.BusySeconds(tr.Name)))
+			tr.Node, tr.Name, promFloat(busy[i]))
 	}
 	if d := r.Duration(); d > 0 {
 		b.WriteString("# HELP fluidfaas_slice_utilisation Busy fraction of the run per MIG slice.\n")
 		b.WriteString("# TYPE fluidfaas_slice_utilisation gauge\n")
-		for _, tr := range r.Tracks() {
+		for i, tr := range tracks {
 			fmt.Fprintf(&b, "fluidfaas_slice_utilisation{node=\"%d\",slice=%q} %s\n",
-				tr.Node, tr.Name, promFloat(r.BusySeconds(tr.Name)/d))
+				tr.Node, tr.Name, promFloat(busy[i]/d))
 		}
 	}
 
@@ -77,12 +82,10 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 	}
 
 	// Driver-set gauges (e.g. ring-dropped events, run duration).
-	if len(r.gauges) > 0 {
-		names := sortedKeys(r.gauges)
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(r.gauges[n]))
-		}
+	// sortedKeys already sorts; a second sort here was pure waste.
+	for _, n := range sortedKeys(r.gauges) {
+		fmt.Fprintf(&b, "# HELP %s Driver-set gauge.\n# TYPE %s gauge\n%s %s\n",
+			n, n, n, promFloat(r.gauges[n]))
 	}
 
 	_, err := io.WriteString(w, b.String())

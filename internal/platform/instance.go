@@ -211,8 +211,16 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 					r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID,
 						rq.waitStart, now, "")
 				}
-				r.SliceSpan("exec", "exec "+inst.fn.spec.Name, sl.ID(),
-					rq.rec.Func, rq.rec.ID, si, now, now+sp.ExecTime)
+				if load > 0 {
+					// The share of the wait spent behind the initial model
+					// load, so the critical-path reconstruction can split
+					// load from queue exactly as the metrics layer does.
+					r.AsyncSpan("load", "load-wait", rq.rec.Func, rq.rec.ID,
+						enqueueAt, enqueueAt+load, "")
+				}
+				r.StageSpan("exec "+inst.fn.spec.Name, sl.ID(),
+					sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
+					now, now+sp.ExecTime, sp.ExecTime)
 			}
 			return sp.ExecTime
 		},
@@ -264,8 +272,12 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 				r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID,
 					rq.waitStart, now-dur, "")
 			}
-			r.SliceSpan("exec", "exec "+inst.fn.spec.Name, inst.slices[si].ID(),
-				rq.rec.Func, rq.rec.ID, si, now-dur, now)
+			// Declared is the unbatched profile time; the batched span is
+			// longer by n^gamma, which is exactly the drift the analytics
+			// layer should surface.
+			r.StageSpan("exec "+inst.fn.spec.Name, inst.slices[si].ID(),
+				sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
+				now-dur, now, sp.ExecTime)
 		}
 		if si+1 < len(inst.bstations) {
 			rq.rec.Transfer += sp.TransferOut

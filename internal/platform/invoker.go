@@ -460,8 +460,9 @@ func (ss *sharedSlice) kick(p *Platform) {
 			r.SliceSpan("load", "load "+b.fn.spec.Name, ss.slice.ID(),
 				rq.rec.Func, rq.rec.ID, -1, now, now+load)
 		}
-		r.SliceSpan("exec", "exec "+b.fn.spec.Name, ss.slice.ID(),
-			rq.rec.Func, rq.rec.ID, -1, now+load, now+load+exec)
+		r.StageSpan("exec "+b.fn.spec.Name, ss.slice.ID(),
+			ss.slice.Type.String(), rq.rec.Func, rq.rec.ID, -1,
+			now+load, now+load+exec, exec)
 	}
 	p.eng.After(load+exec, func() {
 		if ss.failed {

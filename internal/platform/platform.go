@@ -445,7 +445,11 @@ func (p *Platform) record(rec metrics.RequestRecord) {
 	p.col.Record(rec)
 	if r := p.opts.Obs; r != nil {
 		name, outcome := p.funcs[rec.Func].spec.Name, recordOutcome(rec)
-		r.Request(name, outcome, rec.Latency())
+		r.ObserveRequest(obs.RequestObs{
+			Func: rec.Func, Name: name, Req: rec.ID,
+			Arrival: rec.Arrival, Completion: rec.Completion,
+			SLO: rec.SLO, Outcome: outcome, Retries: rec.Retries,
+		})
 		r.AsyncSpan("request", name, rec.Func, rec.ID, rec.Arrival, rec.Completion, outcome)
 	}
 	if p.opts.OnComplete != nil {
