@@ -365,6 +365,109 @@ func BenchmarkFluidFaaSConstruct(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerConstruct compares the invoker's construction step
+// with and without the memoized planner on a steady free-slice view —
+// the cached path is a signature lookup plus index binding.
+func BenchmarkPlannerConstruct(b *testing.B) {
+	a := dnn.Get(dnn.ExpandedClassification)
+	d := a.BuildDAG(dnn.Medium)
+	parts, _ := d.EnumeratePartitions(mig.Slice7g)
+	slo, _ := a.SLOLatency(dnn.Medium, 1.5)
+	free := []mig.SliceType{mig.Slice2g, mig.Slice2g, mig.Slice1g, mig.Slice1g, mig.Slice1g}
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pipeline.Construct(d, parts, free, slo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		pl := pipeline.NewPlanner(d, parts)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pl.Construct(free, slo); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pl.Stats().HitRate()*100, "hit_rate_%")
+	})
+}
+
+// BenchmarkFluidFaaSPlaceBatch measures a FluidFaaS scheduling round at
+// realistic batch and cluster sizes, with and without planner-backed
+// requests. The placements are identical; only the work per probe
+// changes.
+func BenchmarkFluidFaaSPlaceBatch(b *testing.B) {
+	mkReqs := func() []scheduler.Req {
+		var reqs []scheduler.Req
+		for i, id := range []dnn.AppID{dnn.ImageClassification, dnn.DepthRecognition,
+			dnn.BackgroundElimination, dnn.ExpandedClassification} {
+			a := dnn.Get(id)
+			d := a.BuildDAG(dnn.Medium)
+			parts, _ := d.EnumeratePartitions(mig.Slice7g)
+			slo, _ := a.SLOLatency(dnn.Medium, 1.5)
+			req := scheduler.Req{Func: i, DAG: d, Parts: parts, SLO: slo}
+			reqs = append(reqs, req, req)
+		}
+		return reqs
+	}
+	var nodes []scheduler.NodeFree
+	for n := 0; n < 2; n++ {
+		var free []mig.SliceType
+		for g := 0; g < 8; g++ {
+			free = append(free, mig.Slice4g, mig.Slice2g, mig.Slice1g)
+		}
+		nodes = append(nodes, scheduler.NodeFree{Node: n, Free: free})
+	}
+	pol := &scheduler.FluidFaaS{}
+	b.Run("uncached", func(b *testing.B) {
+		reqs := mkReqs()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := pol.PlaceBatch(reqs, nodes); len(got) == 0 {
+				b.Fatal("nothing placed")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		reqs := mkReqs()
+		for i := range reqs {
+			reqs[i].Planner = pipeline.NewPlanner(reqs[i].DAG, reqs[i].Parts)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := pol.PlaceBatch(reqs, nodes); len(got) == 0 {
+				b.Fatal("nothing placed")
+			}
+		}
+		var st pipeline.PlannerStats
+		for _, r := range reqs {
+			st.Add(r.Planner.Stats())
+		}
+		b.ReportMetric(st.HitRate()*100, "hit_rate_%")
+	})
+}
+
+// BenchmarkPlannerSystem is the planner fast-path study end to end: a
+// medium FluidFaaS run with the plan cache on vs off, reporting the
+// cache-on/off identity verdict, hit rate, walk reduction, and
+// simulator events per wall-clock second.
+func BenchmarkPlannerSystem(b *testing.B) {
+	var r experiments.PlannerResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunPlanner(benchCfg())
+	}
+	if !r.Identical {
+		b.Fatal("cache-on and cache-off runs diverged")
+	}
+	b.ReportMetric(r.HitRate*100, "hit_rate_%")
+	b.ReportMetric(r.WalkReduction, "walk_reduction_x")
+	b.ReportMetric(r.CachedEventsPerSec, "cached_events_per_s")
+	b.ReportMetric(r.UncachedEventsPerSec, "uncached_events_per_s")
+	b.ReportMetric(r.Speedup, "speedup_x")
+}
+
 // BenchmarkPlatformMediumFluidFaaS measures a whole platform run: wall
 // time per simulated 150 s of cluster operation.
 func BenchmarkPlatformMediumFluidFaaS(b *testing.B) {

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|all")
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|planner|all")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	loads := flag.String("loads", "", "comma-separated load multipliers for -exp overload (default 1,2,4)")
@@ -111,6 +111,12 @@ func main() {
 		}
 		fmt.Println(experiments.OverloadTable(experiments.RunOverload(cfg, mults)))
 	})
+	var plannerRes *experiments.PlannerResult
+	show("planner", func() {
+		r := experiments.RunPlanner(cfg)
+		plannerRes = &r
+		fmt.Println(experiments.PlannerTable(r))
+	})
 	show("analytics", func() {
 		ar := experiments.RunAnalytics(cfg)
 		fmt.Println(experiments.AnalyticsBlameTable(ar.Report))
@@ -173,7 +179,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report); err != nil {
+		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

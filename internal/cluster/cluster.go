@@ -22,6 +22,10 @@ type Node struct {
 	// down marks a crashed node: no placement until it recovers, and
 	// its warm host-memory copies are lost.
 	down bool
+
+	// gen counts node-level free-set changes (health flips); GPUs carry
+	// their own generations.
+	gen uint64
 }
 
 // Healthy reports whether the node is up.
@@ -29,7 +33,27 @@ func (n *Node) Healthy() bool { return !n.down }
 
 // SetHealthy marks the node crashed (false) or recovered (true). GPU
 // and slice health are tracked separately.
-func (n *Node) SetHealthy(h bool) { n.down = !h }
+func (n *Node) SetHealthy(h bool) {
+	n.down = !h
+	n.gen++
+}
+
+// FreeGen returns a generation number for the node's free-slice set:
+// FreeSlices(now) returns the same view as long as FreeGen is unchanged
+// and stable is true. stable is false while any GPU is unavailable
+// (mid-reconfiguration): its free set then changes with the mere
+// passage of time, so cached views cannot be trusted across calls.
+func (n *Node) FreeGen(now float64) (gen uint64, stable bool) {
+	gen = n.gen
+	stable = true
+	for _, g := range n.GPUs {
+		gen += g.Gen()
+		if !g.Available(now) {
+			stable = false
+		}
+	}
+	return gen, stable
+}
 
 // DropWarm discards all warm host-memory reservations (a node crash
 // loses the models parked in CPU memory).

@@ -25,6 +25,9 @@ type BenchDoc struct {
 	// Analytics is the span-analytics report of the instrumented
 	// FluidFaaS/medium capture (blame, stragglers, drift, burn).
 	Analytics *analytics.Report `json:"analytics,omitempty"`
+	// Planner is the planner fast-path study (cache-on/off identity,
+	// hit rate, wall-clock), present when -exp planner ran.
+	Planner *PlannerResult `json:"planner,omitempty"`
 }
 
 // BenchRun flattens one SystemResult to its reportable scalars.
@@ -64,13 +67,14 @@ func benchRun(r SystemResult) BenchRun {
 }
 
 // WriteBenchJSON writes the bench document for an end-to-end matrix and
-// an optional analytics report.
-func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report) error {
+// optional analytics / planner-study reports.
+func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult) error {
 	doc := BenchDoc{
 		Experiment: exp,
 		Seed:       e2e.Cfg.Seed,
 		Duration:   e2e.Cfg.Duration,
 		Analytics:  rp,
+		Planner:    pl,
 	}
 	for _, wl := range Workloads {
 		for _, sys := range systemsOrder() {

@@ -128,6 +128,10 @@ type Config struct {
 	// (before RunSystem returns), e.g. to take an introspection
 	// Snapshot. Observers must not mutate the platform.
 	OnPlatform func(*platform.Platform)
+	// DisablePlanCache turns off the memoized placement planner. The
+	// cache is behaviour-invariant, so this only exists for the planner
+	// benchmark and the CI cache-on/off determinism diff.
+	DisablePlanCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -294,6 +298,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
 		Faults: cfg.Faults, Overload: cfg.Overload,
 		Obs: cfg.Obs, EventLogCap: cfg.EventLogCap,
+		DisablePlanCache: cfg.DisablePlanCache,
 	})
 	if cfg.OnEvent != nil {
 		p.EventBus().Subscribe(cfg.OnEvent)

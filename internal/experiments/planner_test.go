@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestRunPlannerAcceptance enforces the planner fast path's two
+// shipping criteria on the steady-state medium workload: the cache-on
+// and cache-off runs are bit-identical, and memoization eliminates at
+// least 5x of the partition-list walks (with a hit rate to match).
+func TestRunPlannerAcceptance(t *testing.T) {
+	r := RunPlanner(shortCfg())
+	if !r.Identical {
+		t.Fatal("cache-on and cache-off runs diverged; the plan cache is not behaviour-invariant")
+	}
+	if r.Hits == 0 {
+		t.Fatal("plan cache never hit on the medium workload")
+	}
+	if r.WalkReduction < 5 {
+		t.Errorf("construct walks reduced %.1fx, want >= 5x (hit rate %.1f%%)",
+			r.WalkReduction, r.HitRate*100)
+	}
+	if r.HitRate <= 0 || r.HitRate > 1 {
+		t.Errorf("hit rate %.3f out of range", r.HitRate)
+	}
+}

@@ -40,6 +40,13 @@ type Slice struct {
 	unhealthy bool
 }
 
+// bumpGen invalidates cached free-slice views of the owning GPU.
+func (s *Slice) bumpGen() {
+	if s.GPU != nil {
+		s.GPU.gen++
+	}
+}
+
 // ID returns a stable identifier like "gpu3/2g.20gb#1".
 func (s *Slice) ID() string {
 	return fmt.Sprintf("gpu%d/%s#%d", s.GPU.ID, s.Type, s.Index)
@@ -55,7 +62,10 @@ func (s *Slice) Healthy() bool { return !s.unhealthy }
 // SetHealthy marks the slice faulted (false) or repaired (true). The
 // platform tears down the slice's owner when it fails; health itself
 // carries no accounting.
-func (s *Slice) SetHealthy(h bool) { s.unhealthy = !h }
+func (s *Slice) SetHealthy(h bool) {
+	s.unhealthy = !h
+	s.bumpGen()
+}
 
 // Usable reports whether the slice and its GPU are both healthy and the
 // GPU is not mid-reconfiguration.
@@ -74,6 +84,7 @@ func (s *Slice) Allocate(owner string, now float64) {
 	}
 	s.Owner = owner
 	s.occupiedSince = now
+	s.bumpGen()
 }
 
 // Release frees the slice at time now. Releasing a free slice panics.
@@ -86,6 +97,7 @@ func (s *Slice) Release(now float64) {
 	}
 	s.occupiedTotal += now - s.occupiedSince
 	s.Owner = ""
+	s.bumpGen()
 }
 
 // SetActive marks the slice as processing (or idle) at time now. Activity
@@ -145,7 +157,19 @@ type GPU struct {
 	// unhealthy marks a failed GPU (driver wedge, XID error): none of
 	// its slices can be allocated until it recovers.
 	unhealthy bool
+
+	// gen counts free-set-changing events (slice allocate/release,
+	// health flips, reconfiguration), so callers can cache FreeSlices
+	// views and revalidate in O(1) instead of re-walking slices.
+	gen uint64
 }
+
+// Gen returns the GPU's free-set generation: it changes whenever the
+// set of free slices may have changed for a state reason. It does NOT
+// advance when the GPU becomes available again after a reconfiguration
+// (a pure passage-of-time change); Available(now) must be checked
+// separately before trusting a cached view.
+func (g *GPU) Gen() uint64 { return g.gen }
 
 // NewGPU creates a GPU partitioned per cfg. Invalid configs panic.
 func NewGPU(node, id int, cfg Config) *GPU {
@@ -177,7 +201,10 @@ func (g *GPU) Healthy() bool { return !g.unhealthy }
 // SetHealthy marks the GPU failed (false) or recovered (true). Slice
 // health is tracked separately, so a slice that faulted on its own
 // stays down when its GPU recovers.
-func (g *GPU) SetHealthy(h bool) { g.unhealthy = !h }
+func (g *GPU) SetHealthy(h bool) {
+	g.unhealthy = !h
+	g.gen++
+}
 
 // Reconfigure changes the partition at time now. All slices must be free.
 // The GPU becomes unavailable for ReconfigureDelay seconds — the rigid
@@ -195,6 +222,7 @@ func (g *GPU) Reconfigure(cfg Config, now float64) error {
 	g.config = cfg.Canonical()
 	g.buildSlices()
 	g.availableAt = now + ReconfigureDelay
+	g.gen++
 	return nil
 }
 

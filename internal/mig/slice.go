@@ -26,8 +26,27 @@ const (
 	numSliceTypes
 )
 
+// NumSliceTypes is the number of slice profiles; SliceType values are
+// dense in [0, NumSliceTypes), so it sizes per-type lookup tables.
+const NumSliceTypes = int(numSliceTypes)
+
 // SliceTypes lists all profiles from smallest to largest.
 var SliceTypes = []SliceType{Slice1g, Slice2g, Slice3g, Slice4g, Slice7g}
+
+// LessCompute orders slice profiles by compute capacity: fewer GPCs
+// first, memory breaking ties, raw enum value last so the order is
+// total. Placement code uses this instead of the raw enum comparison so
+// "smallest fitting slice" does not silently depend on declaration
+// order.
+func LessCompute(a, b SliceType) bool {
+	if a.GPCs() != b.GPCs() {
+		return a.GPCs() < b.GPCs()
+	}
+	if a.MemGB() != b.MemGB() {
+		return a.MemGB() < b.MemGB()
+	}
+	return a < b
+}
 
 type sliceProfile struct {
 	name     string

@@ -23,7 +23,17 @@ var ErrNoFit = errors.New("pipeline: no partition fits the available slices")
 // It returns the plan and, aligned with plan.Stages, the indices into
 // avail of the slices each stage uses.
 func Construct(d *dag.DAG, parts []dag.Partition, avail []mig.SliceType, slo float64) (Plan, []int, error) {
-	for _, part := range parts {
+	plan, idx, _, err := ConstructRanked(d, parts, avail, slo)
+	return plan, idx, err
+}
+
+// ConstructRanked is Construct plus the index into parts of the chosen
+// partition. The rank lets callers comparing plans built from different
+// free-slice views (e.g. across nodes) preserve the §5.2.2 walk order:
+// a plan from an earlier-ranked partition always beats one from a
+// later-ranked partition, regardless of how the slices bound.
+func ConstructRanked(d *dag.DAG, parts []dag.Partition, avail []mig.SliceType, slo float64) (Plan, []int, int, error) {
+	for rank, part := range parts {
 		idx, ok := assign(d, part, avail)
 		if !ok {
 			continue
@@ -39,15 +49,16 @@ func Construct(d *dag.DAG, parts []dag.Partition, avail []mig.SliceType, slo flo
 		if slo > 0 && plan.Latency > slo {
 			continue
 		}
-		return plan, idx, nil
+		return plan, idx, rank, nil
 	}
-	return Plan{}, nil, ErrNoFit
+	return Plan{}, nil, -1, ErrNoFit
 }
 
-// assign binds stages to available slices best-fit-decreasing; it
-// returns, per stage, the index into avail, or ok=false when some stage
-// cannot be placed.
-func assign(d *dag.DAG, part dag.Partition, avail []mig.SliceType) ([]int, bool) {
+// needOrder returns the stage indices of part in binding order: most
+// memory-hungry first, stable on ties. Both the direct assign path and
+// the planner's cached replay use this order, which is what makes the
+// cached slice-index binding reproduce the uncached one exactly.
+func needOrder(d *dag.DAG, part dag.Partition) []int {
 	type stageNeed struct {
 		stage int
 		mem   float64
@@ -57,19 +68,32 @@ func assign(d *dag.DAG, part dag.Partition, avail []mig.SliceType) ([]int, bool)
 		needs[i] = stageNeed{stage: i, mem: st.MemGB(d)}
 	}
 	sort.SliceStable(needs, func(i, j int) bool { return needs[i].mem > needs[j].mem })
+	order := make([]int, len(needs))
+	for i, n := range needs {
+		order[i] = n.stage
+	}
+	return order
+}
 
+// assign binds stages to available slices best-fit-decreasing; it
+// returns, per stage, the index into avail, or ok=false when some stage
+// cannot be placed. Among fitting slices it picks the smallest by
+// compute (GPCs, then memory — mig.LessCompute), ties going to the
+// first index in avail order.
+func assign(d *dag.DAG, part dag.Partition, avail []mig.SliceType) ([]int, bool) {
 	used := make([]bool, len(avail))
 	out := make([]int, len(part.Stages))
-	for _, n := range needs {
+	for _, stage := range needOrder(d, part) {
+		mem := part.Stages[stage].MemGB(d)
 		best := -1
 		for ai, t := range avail {
-			if used[ai] || float64(t.MemGB()) < n.mem {
+			if used[ai] || float64(t.MemGB()) < mem {
 				continue
 			}
-			if _, ok := part.Stages[n.stage].ExecOn(d, t); !ok {
+			if _, ok := part.Stages[stage].ExecOn(d, t); !ok {
 				continue
 			}
-			if best == -1 || t < avail[best] {
+			if best == -1 || mig.LessCompute(t, avail[best]) {
 				best = ai
 			}
 		}
@@ -77,7 +101,7 @@ func assign(d *dag.DAG, part dag.Partition, avail []mig.SliceType) ([]int, bool)
 			return nil, false
 		}
 		used[best] = true
-		out[n.stage] = best
+		out[stage] = best
 	}
 	return out, true
 }

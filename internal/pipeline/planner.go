@@ -1,0 +1,337 @@
+package pipeline
+
+import (
+	"sort"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/mig"
+)
+
+// Counts is a free-slice multiset: how many slices of each profile are
+// available. The construction procedure's output — which partition wins
+// and which slice profile each stage binds to — is a pure function of
+// this multiset (plus the SLO), which is what makes plan caching sound:
+// the concrete slice indices only affect which physical slice of a given
+// profile a stage lands on, and that tie-break is replayed per caller.
+type Counts [mig.NumSliceTypes]int
+
+// CountsOf tallies the multiset of a concrete free-slice view.
+func CountsOf(avail []mig.SliceType) Counts {
+	var c Counts
+	for _, t := range avail {
+		c[t]++
+	}
+	return c
+}
+
+// Total returns the number of slices in the multiset.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// sigBits is the width of each per-type count in a Signature; counts at
+// or above 1<<sigBits cannot be canonicalized and fall back to the
+// uncached path.
+const sigBits = 12
+
+// Signature packs the multiset into a canonical uint64 key: sigBits bits
+// per slice type, smallest profile in the low bits. Two free-slice views
+// have equal signatures iff they are the same multiset, regardless of
+// index order. ok is false when any count overflows sigBits bits
+// (≥ 4096 free slices of one profile on a node — far beyond any real
+// MIG inventory); callers then skip the cache rather than corrupt it.
+func (c Counts) Signature() (uint64, bool) {
+	var sig uint64
+	for i, v := range c {
+		if v < 0 || v >= 1<<sigBits {
+			return 0, false
+		}
+		sig |= uint64(v) << (sigBits * i)
+	}
+	return sig, true
+}
+
+// PlanResult is one memoized construction outcome for a
+// (multiset, SLO) key.
+type PlanResult struct {
+	// Err is nil on success, ErrNoFit when no partition fit.
+	Err error
+	// Rank is the index into the partition list of the chosen
+	// partition (-1 on Err). Cross-node comparisons order by Rank
+	// first to preserve the §5.2.2 walk-order semantics.
+	Rank int
+	// Plan is the constructed plan. It is shared by reference across
+	// cache hits and must be treated as immutable.
+	Plan Plan
+	// StageTypes is the slice profile each stage bound to, aligned
+	// with Plan.Stages.
+	StageTypes []mig.SliceType
+	// Order is the binding order (stage indices, most memory-hungry
+	// first) the construction used. Replaying index binding in this
+	// order, taking per profile the first free index in view order,
+	// reproduces the uncached assignment exactly.
+	Order []int
+}
+
+// PlannerStats counts cache behaviour for benchmarks and reports.
+type PlannerStats struct {
+	// Hits served a construction from the cache without walking the
+	// partition list.
+	Hits uint64
+	// Misses ran the full walk and cached the result.
+	Misses uint64
+	// Uncached ran the full walk without caching (signature
+	// overflow).
+	Uncached uint64
+	// QuickRejects counts partitions skipped by the O(1) feasibility
+	// pre-check before any assignment was attempted.
+	QuickRejects uint64
+}
+
+// Walks returns how many full partition-list walks ran.
+func (s PlannerStats) Walks() uint64 { return s.Misses + s.Uncached }
+
+// Lookups returns the total number of construction requests.
+func (s PlannerStats) Lookups() uint64 { return s.Hits + s.Walks() }
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s PlannerStats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits) / float64(l)
+	}
+	return 0
+}
+
+// Add accumulates o into s (for aggregating per-function planners).
+func (s *PlannerStats) Add(o PlannerStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Uncached += o.Uncached
+	s.QuickRejects += o.QuickRejects
+}
+
+// partPre is the per-partition precompute behind the O(1) infeasibility
+// check: per-stage memory needs, the binding order, and per-stage
+// minimum-feasible-profile ranks.
+type partPre struct {
+	order []int
+	mems  []float64
+	// feasible[stage][type] reports whether the stage can run on the
+	// profile at all: memory fits, an exec profile exists, and (for a
+	// whole-DAG stage) the monolithic GPC floor holds.
+	feasible [][mig.NumSliceTypes]bool
+	// minRank[stage] is the smallest compute-rank (see computeOrder)
+	// of any feasible profile for the stage.
+	minRank []int
+	// needGE[r] counts stages whose minRank is ≥ r. A stage with
+	// minRank ≥ r can only ever bind a profile of rank ≥ r, so
+	// needGE[r] > (free slices of rank ≥ r) proves no assignment
+	// exists — a sound O(1) rejection regardless of holes in the
+	// feasibility sets.
+	needGE [mig.NumSliceTypes + 1]int
+	// dead marks a partition with a stage that has no feasible
+	// profile at all; it can never be assigned.
+	dead bool
+}
+
+// Planner memoizes the §5.2.2 construction procedure for one function
+// (one DAG + ranked partition list). It is not safe for concurrent use;
+// the platform's event loop is single-threaded.
+type Planner struct {
+	d     *dag.DAG
+	parts []dag.Partition
+	pre   []partPre
+	// computeOrder lists slice types smallest-compute first
+	// (mig.LessCompute); rankOf inverts it.
+	computeOrder []mig.SliceType
+	rankOf       [mig.NumSliceTypes]int
+	cache        map[planKey]*PlanResult
+	stats        PlannerStats
+}
+
+type planKey struct {
+	sig uint64
+	slo float64
+}
+
+// NewPlanner builds the per-partition feasibility precompute and an
+// empty cache for the DAG's ranked partition list.
+func NewPlanner(d *dag.DAG, parts []dag.Partition) *Planner {
+	p := &Planner{
+		d:     d,
+		parts: parts,
+		cache: make(map[planKey]*PlanResult),
+	}
+	p.computeOrder = append([]mig.SliceType(nil), mig.SliceTypes...)
+	sort.SliceStable(p.computeOrder, func(i, j int) bool {
+		return mig.LessCompute(p.computeOrder[i], p.computeOrder[j])
+	})
+	for r, t := range p.computeOrder {
+		p.rankOf[t] = r
+	}
+	p.pre = make([]partPre, len(parts))
+	for pi, part := range parts {
+		pre := partPre{
+			order:    needOrder(d, part),
+			mems:     make([]float64, len(part.Stages)),
+			feasible: make([][mig.NumSliceTypes]bool, len(part.Stages)),
+			minRank:  make([]int, len(part.Stages)),
+		}
+		for si, st := range part.Stages {
+			pre.mems[si] = st.MemGB(d)
+			mono := len(st.Nodes) == d.Len()
+			pre.minRank[si] = mig.NumSliceTypes
+			for _, t := range mig.SliceTypes {
+				if float64(t.MemGB()) < pre.mems[si] {
+					continue
+				}
+				if mono && t.GPCs() < d.MonoMinGPCs {
+					continue
+				}
+				if _, ok := st.ExecOn(d, t); !ok {
+					continue
+				}
+				pre.feasible[si][t] = true
+				if r := p.rankOf[t]; r < pre.minRank[si] {
+					pre.minRank[si] = r
+				}
+			}
+			if pre.minRank[si] == mig.NumSliceTypes {
+				pre.dead = true
+			}
+			for r := 0; r <= pre.minRank[si]; r++ {
+				pre.needGE[r]++
+			}
+		}
+		p.pre[pi] = pre
+	}
+	return p
+}
+
+// Stats returns a copy of the accumulated cache statistics.
+func (p *Planner) Stats() PlannerStats { return p.stats }
+
+// CacheLen returns the number of memoized (multiset, SLO) entries.
+func (p *Planner) CacheLen() int { return len(p.cache) }
+
+// Result returns the memoized construction outcome for the free-slice
+// multiset c under slo. avail materializes the concrete free-slice view
+// and is only invoked on a cache miss (or signature overflow); the view
+// it returns must have exactly the multiset c.
+//
+// No explicit invalidation exists or is needed: the key is the free
+// state itself, so any allocation, release, or reconfiguration that
+// changes the free multiset selects a different cache line. Stale
+// entries for multisets that no longer occur are merely unused.
+func (p *Planner) Result(c Counts, slo float64, avail func() []mig.SliceType) *PlanResult {
+	sig, ok := c.Signature()
+	if !ok {
+		p.stats.Uncached++
+		return p.walk(c, slo, avail())
+	}
+	key := planKey{sig: sig, slo: slo}
+	if res, ok := p.cache[key]; ok {
+		p.stats.Hits++
+		return res
+	}
+	p.stats.Misses++
+	res := p.walk(c, slo, avail())
+	p.cache[key] = res
+	return res
+}
+
+// Construct is a drop-in cached replacement for the package-level
+// Construct: same inputs, same outputs, served from the plan cache when
+// the free multiset has been seen before.
+func (p *Planner) Construct(avail []mig.SliceType, slo float64) (Plan, []int, error) {
+	plan, idx, _, err := p.ConstructRanked(avail, slo)
+	return plan, idx, err
+}
+
+// ConstructRanked is Construct plus the chosen partition's rank.
+func (p *Planner) ConstructRanked(avail []mig.SliceType, slo float64) (Plan, []int, int, error) {
+	res := p.Result(CountsOf(avail), slo, func() []mig.SliceType { return avail })
+	if res.Err != nil {
+		return Plan{}, nil, -1, res.Err
+	}
+	return res.Plan, res.BindIndices(avail, nil), res.Rank, nil
+}
+
+// BindIndices replays the index binding of a successful result against
+// a concrete free-slice view with the result's multiset: stages bind in
+// the recorded order, each taking the first unused index of its profile
+// in view order — exactly the tie-break the uncached assignment uses.
+// used, when non-nil, marks view entries already consumed by earlier
+// placements and is skipped, not mutated; within one call each index is
+// taken at most once via per-profile cursors.
+func (res *PlanResult) BindIndices(avail []mig.SliceType, used []bool) []int {
+	idx := make([]int, len(res.StageTypes))
+	next := [mig.NumSliceTypes]int{}
+	for _, stage := range res.Order {
+		t := res.StageTypes[stage]
+		ai := next[t]
+		for ai < len(avail) && (avail[ai] != t || (used != nil && used[ai])) {
+			ai++
+		}
+		if ai == len(avail) {
+			panic("pipeline: plan result binding exceeds free view")
+		}
+		next[t] = ai + 1
+		idx[stage] = ai
+	}
+	return idx
+}
+
+// walk runs the real §5.2.2 walk (identical outcome to ConstructRanked)
+// with the O(1) per-partition infeasibility pre-check, and packages the
+// outcome for caching.
+func (p *Planner) walk(c Counts, slo float64, avail []mig.SliceType) *PlanResult {
+	// availGE[r] counts free slices of compute-rank ≥ r.
+	var availGE [mig.NumSliceTypes + 1]int
+	for r := mig.NumSliceTypes - 1; r >= 0; r-- {
+		availGE[r] = availGE[r+1] + c[p.computeOrder[r]]
+	}
+	for rank, part := range p.parts {
+		pre := &p.pre[rank]
+		if pre.dead || p.quickReject(pre, availGE) {
+			p.stats.QuickRejects++
+			continue
+		}
+		idx, ok := assign(p.d, part, avail)
+		if !ok {
+			continue
+		}
+		types := make([]mig.SliceType, len(idx))
+		for i, ai := range idx {
+			types[i] = avail[ai]
+		}
+		plan, err := BuildPlan(p.d, part, types)
+		if err != nil {
+			continue
+		}
+		if slo > 0 && plan.Latency > slo {
+			continue
+		}
+		return &PlanResult{Rank: rank, Plan: plan, StageTypes: types, Order: pre.order}
+	}
+	return &PlanResult{Err: ErrNoFit, Rank: -1}
+}
+
+// quickReject reports whether the partition provably cannot be assigned
+// from the current free multiset: some rank threshold has more stages
+// that require at-least-that-rank profiles than free slices of such
+// profiles exist. The check is sound (never rejects an assignable
+// partition) because a stage's every feasible profile has rank ≥ its
+// minRank.
+func (p *Planner) quickReject(pre *partPre, availGE [mig.NumSliceTypes + 1]int) bool {
+	for r := 0; r < mig.NumSliceTypes; r++ {
+		if pre.needGE[r] > availGE[r] {
+			return true
+		}
+	}
+	return false
+}

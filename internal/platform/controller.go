@@ -23,9 +23,10 @@ func (p *Platform) route(rq *request) {
 	if p.opts.Overload.Enabled() && p.admissionReject(rq) {
 		return
 	}
-	for _, inst := range p.routedInstances(fn) {
+	for k, inst := range p.routedInstances(fn) {
 		if inst.hasCapacity() {
 			inst.admit(p, rq)
+			p.advanceRoundRobin(fn, k)
 			return
 		}
 	}
@@ -49,7 +50,11 @@ func (p *Platform) route(rq *request) {
 
 // routedInstances returns the function's exclusive instances in the
 // configured routing order. fn.instances is kept latency-ascending, so
-// the default order is a plain view.
+// the default order is a plain view. The call is a pure inspection: for
+// round-robin it reads the cursor without advancing it — the cursor
+// moves only when a request actually lands (advanceRoundRobin), so
+// saturated instances and inspection-only calls cannot skew the
+// rotation.
 func (p *Platform) routedInstances(fn *Function) []*Instance {
 	switch p.opts.Routing {
 	case RouteLatencyDesc:
@@ -59,17 +64,31 @@ func (p *Platform) routedInstances(fn *Function) []*Instance {
 		}
 		return out
 	case RouteRoundRobin:
-		if len(fn.instances) == 0 {
+		n := len(fn.instances)
+		if n == 0 {
 			return nil
 		}
-		fn.rrNext = (fn.rrNext + 1) % len(fn.instances)
-		out := make([]*Instance, 0, len(fn.instances))
-		for i := 0; i < len(fn.instances); i++ {
-			out = append(out, fn.instances[(fn.rrNext+i)%len(fn.instances)])
+		start := fn.rrNext % n
+		out := make([]*Instance, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, fn.instances[(start+i)%n])
 		}
 		return out
 	default:
 		return fn.instances
+	}
+}
+
+// advanceRoundRobin moves the round-robin cursor past the instance that
+// just admitted a request: k is the instance's position in the order
+// routedInstances returned, so the next request starts its scan at the
+// instance after the one that served.
+func (p *Platform) advanceRoundRobin(fn *Function, k int) {
+	if p.opts.Routing != RouteRoundRobin {
+		return
+	}
+	if n := len(fn.instances); n > 0 {
+		fn.rrNext = (fn.rrNext%n + k + 1) % n
 	}
 }
 
@@ -186,10 +205,11 @@ func (p *Platform) scaleUp() {
 		}
 		for i := 0; i < want; i++ {
 			reqs = append(reqs, scheduler.Req{
-				Func:  fn.spec.ID,
-				DAG:   fn.spec.DAG,
-				Parts: fn.spec.Parts,
-				SLO:   fn.spec.SLO,
+				Func:    fn.spec.ID,
+				DAG:     fn.spec.DAG,
+				Parts:   fn.spec.Parts,
+				SLO:     fn.spec.SLO,
+				Planner: fn.planner,
 			})
 			reqFns = append(reqFns, fn)
 		}

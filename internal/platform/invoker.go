@@ -16,10 +16,42 @@ type Invoker struct {
 	p      *Platform
 	node   *cluster.Node
 	shared []*sharedSlice
+
+	// Cached free-slice snapshot, revalidated against the node's
+	// free-set generation. Every path that changes the free set —
+	// instance launch/release, pool grow/shrink, demotion adoption,
+	// migration, fault injection and recovery — bumps the generation
+	// at the mig/cluster layer, so the cache can never serve a stale
+	// view.
+	freeGen   uint64
+	freeValid bool
+	freeTypes []mig.SliceType
+	freePhys  []*mig.Slice
 }
 
 func newInvoker(p *Platform, node *cluster.Node) *Invoker {
 	return &Invoker{p: p, node: node}
+}
+
+// freeView returns the node's free slices (types and physical slices,
+// in FreeSlices order). Unchanged nodes are served from the cached
+// snapshot; a node with a GPU mid-reconfiguration is never cached, as
+// its free set changes with the passage of time alone.
+func (inv *Invoker) freeView(now float64) ([]mig.SliceType, []*mig.Slice) {
+	gen, stable := inv.node.FreeGen(now)
+	if inv.freeValid && stable && gen == inv.freeGen {
+		return inv.freeTypes, inv.freePhys
+	}
+	free := inv.node.FreeSlices(now)
+	types := make([]mig.SliceType, len(free))
+	for i, s := range free {
+		types[i] = s.Type
+	}
+	inv.freeGen = gen
+	inv.freeValid = stable
+	inv.freeTypes = types
+	inv.freePhys = free
+	return types, free
 }
 
 // tsBinding is a function's time-sharing deployment: the function is

@@ -248,7 +248,7 @@ func (p *Platform) contractPipelined() {
 		for i, sl := range free {
 			types[i] = sl.Type
 		}
-		pl, _, err := pipeline.Construct(fn.spec.DAG, fn.spec.Parts, types, fn.spec.SLO)
+		pl, _, err := fn.construct(types, fn.spec.SLO)
 		if err == nil && pl.GPCs() < worst.plan.GPCs() {
 			slices = make([]*mig.Slice, len(pl.Stages))
 			ok := true

@@ -342,12 +342,23 @@ func TestRoutedInstanceOrders(t *testing.T) {
 	}
 
 	p.opts.Routing = RouteRoundRobin
-	firsts := map[string]int{}
-	for i := 0; i < 6; i++ {
+	// routedInstances is a pure inspection: repeated calls must return
+	// the same rotation (the cursor only moves when a request admits,
+	// via advanceRoundRobin).
+	for i := 0; i < 3; i++ {
 		got = p.routedInstances(fn)
 		if len(got) != 3 {
 			t.Fatalf("round-robin returned %d instances", len(got))
 		}
+		if got[0] != a || got[1] != b || got[2] != c {
+			t.Fatalf("inspection call %d moved the cursor: %v", i, ids(got))
+		}
+	}
+	// Admits advance the cursor past the serving instance: each admit at
+	// offset k in the returned order starts the next scan at k+1.
+	firsts := map[string]int{}
+	for i := 0; i < 6; i++ {
+		got = p.routedInstances(fn)
 		// Each view is a rotation: order must be preserved cyclically.
 		for j := 1; j < 3; j++ {
 			prev, cur := got[j-1], got[j]
@@ -356,12 +367,20 @@ func TestRoutedInstanceOrders(t *testing.T) {
 			}
 		}
 		firsts[got[0].id]++
+		p.advanceRoundRobin(fn, 0) // the head instance admitted
 	}
-	// Over 6 calls every instance leads exactly twice: rotation fairness.
+	// Over 6 admits every instance leads exactly twice: rotation fairness.
 	for _, inst := range []*Instance{a, b, c} {
 		if firsts[inst.id] != 2 {
-			t.Errorf("instance %s led %d of 6 calls, want 2", inst.id, firsts[inst.id])
+			t.Errorf("instance %s led %d of 6 admits, want 2", inst.id, firsts[inst.id])
 		}
+	}
+	// An admit deeper in the scan (offset k) moves the cursor past the
+	// instance that served, not just one step.
+	fn.rrNext = 0
+	p.advanceRoundRobin(fn, 1) // head was full; b (offset 1) admitted
+	if got = p.routedInstances(fn); got[0] != c {
+		t.Errorf("after admit at offset 1 the scan should start at c, got %v", ids(got))
 	}
 
 	// Empty instance list under round-robin must not panic or divide by

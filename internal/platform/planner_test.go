@@ -1,0 +1,120 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/scheduler"
+)
+
+// runWithPlanCache runs one platform simulation with the placement-plan
+// cache on or off.
+func runWithPlanCache(t *testing.T, disable bool, seed int64) *Platform {
+	t.Helper()
+	specs := specsFor(t, dnn.Medium)
+	cl := cluster.New(cluster.DefaultSpec())
+	p := New(cl, specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: seed, DisablePlanCache: disable,
+	})
+	tr := flatTrace(specs, 8, 120, seed)
+	p.Run(tr, 40)
+	return p
+}
+
+// TestPlanCacheIdentity: the plan cache is a pure memoization — same
+// seed with the cache on and off must produce bit-identical request
+// records, platform counters, lifecycle event sequences, and the
+// utilisation timeline. This is the tentpole's behaviour-invariance
+// contract, the same acceptance criterion the observability layer meets
+// in TestObsZeroCostIdentity.
+func TestPlanCacheIdentity(t *testing.T) {
+	cached := runWithPlanCache(t, false, 77)
+	plain := runWithPlanCache(t, true, 77)
+
+	a, b := cached.Collector().Records(), plain.Collector().Records()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("request records diverge with plan cache on: %d vs %d records", len(a), len(b))
+	}
+	if cached.Launched() != plain.Launched() ||
+		cached.Evictions() != plain.Evictions() ||
+		cached.Migrations() != plain.Migrations() ||
+		cached.TotalEvents() != plain.TotalEvents() {
+		t.Fatal("platform counters diverge with plan cache on")
+	}
+	if !reflect.DeepEqual(cached.Events(), plain.Events()) {
+		t.Fatal("lifecycle event sequences diverge with plan cache on")
+	}
+	if !reflect.DeepEqual(cached.UtilGPCs, plain.UtilGPCs) {
+		t.Fatal("utilisation timeline diverges with plan cache on")
+	}
+
+	// The invariance proof is only interesting if the cache actually
+	// served lookups on this workload.
+	cs, ps := cached.PlannerStats(), plain.PlannerStats()
+	if cs.Hits == 0 {
+		t.Error("plan cache recorded no hits over a steady-state run")
+	}
+	if ps.Lookups() != 0 {
+		t.Errorf("DisablePlanCache run still consulted planners: %+v", ps)
+	}
+}
+
+// TestRoundRobinAdvancesOnlyOnAdmit is the regression test for the
+// satellite routing bugfix: the round-robin cursor used to move on
+// every routedInstances call, so a request that found all instances
+// saturated still rotated the cursor — and under sustained saturation
+// the rotation decoupled from actual admits, skewing fairness. The
+// cursor must move only when a request admits, and then past the
+// instance that served it.
+func TestRoundRobinAdvancesOnlyOnAdmit(t *testing.T) {
+	specs := specsFor(t, dnn.Small)[:1]
+	p := New(smallCluster(1), specs, Options{
+		Policy:  &scheduler.FluidFaaS{DisableTimeSharing: true},
+		Routing: RouteRoundRobin,
+		Seed:    3,
+	})
+	fn := p.funcs[0]
+	node := p.Cluster().Nodes[0]
+
+	// Three real monolithic instances, one per default-partition slice.
+	for _, sl := range node.FreeSlices(0) {
+		pl, err := monoPlan(fn, sl.Type)
+		if err != nil {
+			t.Fatalf("small function should run monolithically on %v: %v", sl.Type, err)
+		}
+		p.launchInstance(fn, node, pl, []*mig.Slice{sl}, 0)
+	}
+	if len(fn.instances) != 3 {
+		t.Fatalf("launched %d instances, want 3", len(fn.instances))
+	}
+
+	// Saturate everything: a request that admits nowhere must leave the
+	// cursor exactly where it was (the old code advanced it here).
+	saved := make([]int, 3)
+	for i, inst := range fn.instances {
+		saved[i] = inst.capacity
+		inst.capacity = 0
+	}
+	fn.rrNext = 0
+	p.InjectRequest(0, 100)
+	if fn.rrNext != 0 {
+		t.Errorf("saturated scan moved the round-robin cursor to %d", fn.rrNext)
+	}
+	if len(fn.pending) != 1 {
+		t.Fatalf("saturated request should pend, pending = %d", len(fn.pending))
+	}
+
+	// Open capacity at offset 1 only: the admit there must move the
+	// cursor past the serving instance, to offset 2.
+	fn.instances[1].capacity = saved[1]
+	p.InjectRequest(0, 101)
+	if fn.instances[1].outstanding != 1 {
+		t.Fatalf("request did not admit at the open instance")
+	}
+	if fn.rrNext != 2 {
+		t.Errorf("cursor = %d after admit at offset 1, want 2", fn.rrNext)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
 	"fluidfaas/internal/overload"
+	"fluidfaas/internal/pipeline"
 	"fluidfaas/internal/scheduler"
 	"fluidfaas/internal/sim"
 	"fluidfaas/internal/trace"
@@ -114,6 +115,13 @@ type Options struct {
 	// e.g. function-chaining workflows — use it to trigger downstream
 	// invocations.
 	OnComplete func(rec metrics.RequestRecord)
+	// DisablePlanCache turns off the per-function memoized placement
+	// planner, forcing every construction to re-walk the partition
+	// list. The cache is behaviour-invariant — same-seed runs with it
+	// on and off are bit-for-bit identical (enforced by test) — so
+	// this exists only for benchmarking the cache itself and for the
+	// determinism diff in CI.
+	DisablePlanCache bool
 }
 
 func (o *Options) fillDefaults() {
@@ -302,7 +310,7 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		if spec.Priority > p.maxPriority {
 			p.maxPriority = spec.Priority
 		}
-		p.funcs = append(p.funcs, newFunction(spec))
+		p.funcs = append(p.funcs, newFunction(spec, !opts.DisablePlanCache))
 	}
 	for _, node := range cl.Nodes {
 		p.inv = append(p.inv, newInvoker(p, node))
@@ -490,19 +498,31 @@ func (p *Platform) sampleUtilization() {
 	}
 }
 
-// nodeFreeViews snapshots free slices per node for the policy.
+// nodeFreeViews snapshots free slices per node for the policy. Each
+// invoker revalidates its cached snapshot against the node's free-set
+// generation (bumped by every slice allocate/release, health flip and
+// reconfiguration at the mig/cluster layer), so an unchanged node costs
+// O(GPUs) instead of a full slice walk and re-sort.
 func (p *Platform) nodeFreeViews() ([]scheduler.NodeFree, [][]*mig.Slice) {
 	now := p.eng.Now()
 	views := make([]scheduler.NodeFree, len(p.inv))
 	phys := make([][]*mig.Slice, len(p.inv))
 	for i, inv := range p.inv {
-		free := inv.node.FreeSlices(now)
-		types := make([]mig.SliceType, len(free))
-		for j, s := range free {
-			types[j] = s.Type
-		}
+		types, free := inv.freeView(now)
 		views[i] = scheduler.NodeFree{Node: inv.node.ID, Free: types}
 		phys[i] = free
 	}
 	return views, phys
+}
+
+// PlannerStats aggregates the plan-cache statistics over all functions.
+// Zero-valued when the cache is disabled.
+func (p *Platform) PlannerStats() pipeline.PlannerStats {
+	var s pipeline.PlannerStats
+	for _, fn := range p.funcs {
+		if fn.planner != nil {
+			s.Add(fn.planner.Stats())
+		}
+	}
+	return s
 }

@@ -28,24 +28,34 @@ func (p *FluidFaaS) TimeSharing() bool { return !p.DisableTimeSharing }
 func (p *FluidFaaS) Migration() bool { return !p.DisableMigration }
 
 // freeView tracks which of a node's free slices earlier placements in
-// the same batch already consumed.
+// the same batch already consumed, plus the counting-multiset index the
+// planner fast path keys on — maintained incrementally so probing a
+// node never rebuilds the free list.
 type freeView struct {
-	types []mig.SliceType
-	used  []bool
+	types     []mig.SliceType
+	used      []bool
+	counts    pipeline.Counts
+	remaining int
 }
 
 func newFreeViews(nodes []NodeFree) []freeView {
 	out := make([]freeView, len(nodes))
 	for i, n := range nodes {
-		out[i] = freeView{types: n.Free, used: make([]bool, len(n.Free))}
+		out[i] = freeView{
+			types:     n.Free,
+			used:      make([]bool, len(n.Free)),
+			counts:    pipeline.CountsOf(n.Free),
+			remaining: len(n.Free),
+		}
 	}
 	return out
 }
 
-// avail returns the unconsumed slice types and their original indices.
+// avail returns the unconsumed slice types and their original indices
+// (the uncached construction path).
 func (v *freeView) avail() ([]mig.SliceType, []int) {
-	var types []mig.SliceType
-	var idx []int
+	types := make([]mig.SliceType, 0, v.remaining)
+	idx := make([]int, 0, v.remaining)
 	for i, t := range v.types {
 		if !v.used[i] {
 			types = append(types, t)
@@ -55,61 +65,97 @@ func (v *freeView) avail() ([]mig.SliceType, []int) {
 	return types, idx
 }
 
+// availTypes returns just the unconsumed slice types; the planner calls
+// it only on a cache miss.
+func (v *freeView) availTypes() []mig.SliceType {
+	types := make([]mig.SliceType, 0, v.remaining)
+	for i, t := range v.types {
+		if !v.used[i] {
+			types = append(types, t)
+		}
+	}
+	return types
+}
+
+// consume marks the placement's slice indices taken and updates the
+// multiset index. Consuming an index twice within one batch would hand
+// the same physical slice to two instances; that is a scheduler bug, so
+// it panics rather than silently double-booking.
 func (v *freeView) consume(origIdx []int) {
 	for _, i := range origIdx {
+		if v.used[i] {
+			panic("scheduler: free-slice index double-booked within a batch")
+		}
 		v.used[i] = true
+		v.counts[v.types[i]]--
+		v.remaining--
 	}
 }
 
 // PlaceBatch places each request in turn on the node where the
-// CV-ranked construction finds the best (lowest-CV, then fewest-GPC)
-// feasible deployment. Pipelines never span nodes: stages communicate
-// through host shared memory (§5.2.1).
+// CV-ranked construction finds the best feasible deployment. Because
+// construction returns the first feasible partition in §5.2.2 walk
+// order, plans from different nodes may come from different partition
+// ranks; the cross-node choice therefore orders by partition rank first
+// (earlier-ranked always wins, preserving the walk-order semantics),
+// then by fewer GPCs, ties to the first node. Pipelines never span
+// nodes: stages communicate through host shared memory (§5.2.1).
+//
+// When a request carries a Planner, probing a node is a cache lookup
+// keyed on the node's free-slice multiset; the partition walk only runs
+// on a miss. The placements are identical either way.
 func (p *FluidFaaS) PlaceBatch(reqs []Req, nodes []NodeFree) []Placement {
 	views := newFreeViews(nodes)
 	var out []Placement
 	for ri, req := range reqs {
 		best := -1
-		var bestPlan pipeline.Plan
-		var bestIdx []int
+		var bestRes *pipeline.PlanResult
+		var bestIdx []int // pre-mapped indices (uncached path only)
+		var bestGPCs int
 		for ni := range views {
-			types, orig := views[ni].avail()
-			if len(types) == 0 {
+			v := &views[ni]
+			if v.remaining == 0 {
 				continue
 			}
-			plan, idx, err := pipeline.Construct(req.DAG, req.Parts, types, req.SLO)
-			if err != nil {
-				continue
+			var res *pipeline.PlanResult
+			var mapped []int
+			if req.Planner != nil {
+				res = req.Planner.Result(v.counts, req.SLO, v.availTypes)
+				if res.Err != nil {
+					continue
+				}
+			} else {
+				types, orig := v.avail()
+				plan, idx, rank, err := pipeline.ConstructRanked(req.DAG, req.Parts, types, req.SLO)
+				if err != nil {
+					continue
+				}
+				mapped = make([]int, len(idx))
+				for i, ai := range idx {
+					mapped[i] = orig[ai]
+				}
+				res = &pipeline.PlanResult{Rank: rank, Plan: plan}
 			}
-			mapped := make([]int, len(idx))
-			for i, ai := range idx {
-				mapped[i] = orig[ai]
-			}
-			if best == -1 || betterPlan(plan, bestPlan) {
-				best = ni
-				bestPlan = plan
-				bestIdx = mapped
+			g := res.Plan.GPCs()
+			if best == -1 || res.Rank < bestRes.Rank ||
+				(res.Rank == bestRes.Rank && g < bestGPCs) {
+				best, bestRes, bestIdx, bestGPCs = ni, res, mapped, g
 			}
 		}
 		if best == -1 {
 			continue
 		}
+		v := &views[best]
+		idx := bestIdx
+		if idx == nil {
+			// Planner fast path: replay the index binding against the
+			// winning node's view; consume() guards double-booking.
+			idx = bestRes.BindIndices(v.types, v.used)
+		}
+		v.consume(idx)
 		out = append(out, Placement{
-			Req: ri, Node: nodes[best].Node, Plan: bestPlan, SliceIdx: bestIdx,
+			Req: ri, Node: nodes[best].Node, Plan: bestRes.Plan, SliceIdx: idx,
 		})
-		views[best].consume(bestIdx)
 	}
 	return out
-}
-
-// betterPlan prefers lower CV (better balance), then fewer GPCs (less
-// resource), then fewer stages.
-func betterPlan(a, b pipeline.Plan) bool {
-	if a.CV != b.CV {
-		return a.CV < b.CV
-	}
-	if a.GPCs() != b.GPCs() {
-		return a.GPCs() < b.GPCs()
-	}
-	return len(a.Stages) < len(b.Stages)
 }

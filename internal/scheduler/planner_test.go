@@ -1,0 +1,137 @@
+package scheduler
+
+import (
+	"reflect"
+	"testing"
+
+	"fluidfaas/internal/dag"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/pipeline"
+)
+
+// withPlanner attaches a fresh memoizing planner to a copy of req.
+func withPlanner(req Req) Req {
+	req.Planner = pipeline.NewPlanner(req.DAG, req.Parts)
+	return req
+}
+
+// TestPlaceBatchPlannerEquivalence: attaching planners to the requests
+// must not change a single placement decision — same nodes, same plans,
+// same slice indices — across a batch big enough to exercise repeated
+// lookups of the same free-slice multisets.
+func TestPlaceBatchPlannerEquivalence(t *testing.T) {
+	base := []Req{
+		reqFor(t, dnn.ImageClassification, dnn.Large),
+		reqFor(t, dnn.ImageClassification, dnn.Medium),
+		reqFor(t, dnn.DepthRecognition, dnn.Small),
+		reqFor(t, dnn.ImageClassification, dnn.Large),
+		reqFor(t, dnn.ExpandedClassification, dnn.Medium),
+		reqFor(t, dnn.ImageClassification, dnn.Medium),
+	}
+	nodes := append(defaultNode(2),
+		NodeFree{Node: 2, Free: []mig.SliceType{
+			mig.Slice2g, mig.Slice2g, mig.Slice1g, mig.Slice1g}},
+		NodeFree{Node: 3, Free: []mig.SliceType{mig.Slice7g}})
+
+	pol := &FluidFaaS{}
+	plain := pol.PlaceBatch(base, nodes)
+
+	cached := make([]Req, len(base))
+	for i, r := range base {
+		cached[i] = withPlanner(r)
+	}
+	fast := pol.PlaceBatch(cached, nodes)
+
+	if !reflect.DeepEqual(plain, fast) {
+		t.Errorf("planner changed placements:\nuncached: %+v\ncached:   %+v", plain, fast)
+	}
+
+	// The shared-function requests probe overlapping multisets; the
+	// planner must actually have served some of them from cache.
+	hits := uint64(0)
+	for _, r := range cached {
+		hits += r.Planner.Stats().Hits
+	}
+	if hits == 0 {
+		t.Error("no cache hits across a 6-request batch; memoization is dead code")
+	}
+}
+
+// TestPlaceBatchRankRespected (satellite bugfix): the cross-node choice
+// must order by partition rank before GPC footprint. A monolithic plan
+// (rank 0) on a fat node beats an earlier-scanned skinny node that can
+// only host the rank-1 split, even though the split uses fewer GPCs —
+// §5.2.2's walk order is first feasible partition wins.
+func TestPlaceBatchRankRespected(t *testing.T) {
+	// Two equal stages of 8 GB: monolithic needs 16 GB (a 2g+ slice);
+	// the balanced split runs per-stage on 1g slices. Both partitions
+	// have CV = 0, so the enumerator ranks monolithic first (fewer
+	// stages on equal CV).
+	d := dag.New()
+	exec := map[mig.SliceType]float64{}
+	for _, st := range mig.SliceTypes {
+		exec[st] = 0.1
+	}
+	a := d.AddNode(dag.Node{Name: "a", MemGB: 8, OutMB: 4, Exec: exec})
+	b := d.AddNode(dag.Node{Name: "b", MemGB: 8, OutMB: 4, Exec: exec})
+	d.AddEdge(a, b)
+	parts, err := d.EnumeratePartitions(mig.Slice7g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts[0].Stages) != 1 {
+		t.Fatalf("precondition: monolithic partition should rank first, got %+v", parts[0])
+	}
+	req := Req{DAG: d, Parts: parts, SLO: 0}
+
+	nodes := []NodeFree{
+		{Node: 0, Free: []mig.SliceType{mig.Slice1g, mig.Slice1g}}, // split only: 2 GPCs
+		{Node: 1, Free: []mig.SliceType{mig.Slice7g}},              // monolithic: 7 GPCs
+	}
+	for _, r := range []Req{req, withPlanner(req)} {
+		got := (&FluidFaaS{}).PlaceBatch([]Req{r}, nodes)
+		if len(got) != 1 {
+			t.Fatal("not placed")
+		}
+		if got[0].Node != 1 || got[0].Plan.Pipelined() {
+			t.Errorf("placed on node %d pipelined=%v; want the rank-0 monolithic plan on node 1",
+				got[0].Node, got[0].Plan.Pipelined())
+		}
+	}
+}
+
+// TestFreeViewConsumePanicsOnDoubleBook: handing the same physical
+// slice index to two placements in one batch is a scheduler bug and
+// must fail loudly, not corrupt the free view.
+func TestFreeViewConsumePanicsOnDoubleBook(t *testing.T) {
+	views := newFreeViews([]NodeFree{
+		{Node: 0, Free: []mig.SliceType{mig.Slice2g, mig.Slice1g}},
+	})
+	v := &views[0]
+	v.consume([]int{0})
+	defer func() {
+		if recover() == nil {
+			t.Error("double-booked index did not panic")
+		}
+	}()
+	v.consume([]int{0})
+}
+
+// TestFreeViewCountsTrackConsumption: the incremental multiset index
+// stays in sync with the used[] mask, so planner cache keys always
+// describe the true remaining free set.
+func TestFreeViewCountsTrackConsumption(t *testing.T) {
+	views := newFreeViews([]NodeFree{
+		{Node: 0, Free: []mig.SliceType{
+			mig.Slice2g, mig.Slice1g, mig.Slice2g, mig.Slice4g}},
+	})
+	v := &views[0]
+	v.consume([]int{2, 1})
+	if got := pipeline.CountsOf(v.availTypes()); got != v.counts {
+		t.Errorf("incremental counts %v out of sync with view %v", v.counts, got)
+	}
+	if v.remaining != 2 {
+		t.Errorf("remaining = %d, want 2", v.remaining)
+	}
+}

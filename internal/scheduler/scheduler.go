@@ -26,6 +26,11 @@ type Req struct {
 	// SLO is the function's latency budget; placements whose unloaded
 	// latency exceeds it are rejected.
 	SLO float64
+	// Planner, when non-nil, memoizes the construction procedure for
+	// this function (plan cache + feasibility precompute). Policies
+	// use it as a drop-in replacement for pipeline.Construct; the
+	// placement decisions must be identical with Planner nil.
+	Planner *pipeline.Planner
 }
 
 // NodeFree is one node's free slices.
