@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|planner|all")
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|planner|swap|all")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	loads := flag.String("loads", "", "comma-separated load multipliers for -exp overload (default 1,2,4)")
@@ -117,6 +117,12 @@ func main() {
 		plannerRes = &r
 		fmt.Println(experiments.PlannerTable(r))
 	})
+	var swapRes *experiments.SwapResult
+	show("swap", func() {
+		r := experiments.RunSwap(cfg)
+		swapRes = &r
+		fmt.Println(experiments.SwapTable(r))
+	})
 	show("analytics", func() {
 		ar := experiments.RunAnalytics(cfg)
 		fmt.Println(experiments.AnalyticsBlameTable(ar.Report))
@@ -179,7 +185,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes); err != nil {
+		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes, swapRes); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -4,8 +4,6 @@
 package cluster
 
 import (
-	"fmt"
-
 	"fluidfaas/internal/mig"
 )
 
@@ -16,8 +14,9 @@ type Node struct {
 	GPUs     []*mig.GPU
 	CPUMemGB float64
 
-	// warmMemGB tracks host memory used by warm (evicted) models.
-	warmMemGB float64
+	// pool manages host memory used by warm (evicted) models; lazily
+	// initialised from CPUMemGB on first use.
+	pool *MemPool
 
 	// down marks a crashed node: no placement until it recovers, and
 	// its warm host-memory copies are lost.
@@ -55,9 +54,18 @@ func (n *Node) FreeGen(now float64) (gen uint64, stable bool) {
 	return gen, stable
 }
 
+// Pool returns the node's host-memory pool, initialising it from
+// CPUMemGB on first use.
+func (n *Node) Pool() *MemPool {
+	if n.pool == nil {
+		n.pool = NewMemPool(n.CPUMemGB)
+	}
+	return n.pool
+}
+
 // DropWarm discards all warm host-memory reservations (a node crash
 // loses the models parked in CPU memory).
-func (n *Node) DropWarm() { n.warmMemGB = 0 }
+func (n *Node) DropWarm() { n.Pool().DropAll() }
 
 // Cluster is a set of invoker nodes.
 type Cluster struct {
@@ -142,28 +150,16 @@ func (n *Node) TotalGPCs() int {
 }
 
 // ReserveWarm reserves host memory for a warm (evicted) model. It
-// reports false when host memory is exhausted.
-func (n *Node) ReserveWarm(memGB float64) bool {
-	if n.warmMemGB+memGB > n.CPUMemGB {
-		return false
-	}
-	n.warmMemGB += memGB
-	return true
-}
+// reports false when host memory is exhausted. This is the anonymous
+// (unkeyed) reservation style; the swap tier uses the pool's keyed API
+// directly.
+func (n *Node) ReserveWarm(memGB float64) bool { return n.Pool().Reserve(memGB) }
 
 // ReleaseWarm returns host memory reserved by ReserveWarm.
-func (n *Node) ReleaseWarm(memGB float64) {
-	n.warmMemGB -= memGB
-	if n.warmMemGB < -1e-9 {
-		panic(fmt.Sprintf("cluster: warm memory went negative (%v)", n.warmMemGB))
-	}
-	if n.warmMemGB < 0 {
-		n.warmMemGB = 0
-	}
-}
+func (n *Node) ReleaseWarm(memGB float64) { n.Pool().Release(memGB) }
 
 // WarmMemGB returns host memory currently holding warm models.
-func (n *Node) WarmMemGB() float64 { return n.warmMemGB }
+func (n *Node) WarmMemGB() float64 { return n.Pool().UsedGB() }
 
 // AllGPUs returns every GPU in the cluster in ID order.
 func (c *Cluster) AllGPUs() []*mig.GPU {

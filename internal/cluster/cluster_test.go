@@ -87,6 +87,48 @@ func TestReleaseWarmNegativePanics(t *testing.T) {
 	c.Nodes[0].ReleaseWarm(10)
 }
 
+func TestReleaseWarmFloatNoiseClamps(t *testing.T) {
+	c := New(Spec{Nodes: 1, GPUConfigs: mig.UniformNode(mig.DefaultConfig, 1), CPUMemGB: 50})
+	n := c.Nodes[0]
+	if !n.ReserveWarm(10) {
+		t.Fatal("ReserveWarm(10) failed")
+	}
+	// Releasing a hair more than was reserved is float noise, not a
+	// bookkeeping bug: it clamps to zero instead of panicking.
+	n.ReleaseWarm(10 + 1e-12)
+	if n.WarmMemGB() != 0 {
+		t.Errorf("WarmMemGB = %v, want 0 after noise-clamped release", n.WarmMemGB())
+	}
+	if !n.ReserveWarm(50) {
+		t.Error("full-capacity reservation failed after clamp")
+	}
+}
+
+func TestDropWarmThenReReserve(t *testing.T) {
+	c := New(Spec{Nodes: 1, GPUConfigs: mig.UniformNode(mig.DefaultConfig, 1), CPUMemGB: 50})
+	n := c.Nodes[0]
+	if !n.ReserveWarm(30) {
+		t.Fatal("ReserveWarm(30) failed")
+	}
+	n.Pool().ReserveModel("m", 20)
+	n.DropWarm()
+	if n.WarmMemGB() != 0 {
+		t.Fatalf("WarmMemGB = %v after DropWarm, want 0", n.WarmMemGB())
+	}
+	if n.Pool().Has("m") {
+		t.Error("keyed copy survived DropWarm")
+	}
+	// The crash wiped the reservations; the full capacity is reusable
+	// and releasing the wiped reservation must not be double-counted.
+	if !n.ReserveWarm(50) {
+		t.Error("ReserveWarm(50) failed after DropWarm emptied the pool")
+	}
+	n.ReleaseWarm(50)
+	if n.WarmMemGB() != 0 {
+		t.Errorf("WarmMemGB = %v, want 0", n.WarmMemGB())
+	}
+}
+
 func TestClusterTimes(t *testing.T) {
 	c := New(Spec{Nodes: 1, GPUConfigs: mig.UniformNode(mig.DefaultConfig, 2), CPUMemGB: 100})
 	g0 := c.Nodes[0].GPUs[0]

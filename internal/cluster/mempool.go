@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+)
+
+// MemPool is a node's host-memory pool. It backs the warm keep-alive
+// tier: every model copy parked in CPU memory holds a reservation here.
+// Two reservation styles coexist:
+//
+//   - Keyed, per-model reservations (ReserveModel/ReleaseModel), the
+//     swap tier's currency: each key is one model copy, tracked in LRU
+//     order so the pool can evict the least-recently-used copy under
+//     pressure. A copy may be "parked" — still resident, but with no
+//     live binding — which makes it the preferred eviction victim and
+//     lets a later binding reclaim it instead of refetching remotely.
+//   - Anonymous reservations (Reserve/Release), the legacy warm
+//     accounting: a bare byte count with no identity. The platform's
+//     swap-disabled path uses these, preserving the pre-swap-tier
+//     accept/reject semantics exactly.
+//
+// Both styles draw from the same capacity.
+type MemPool struct {
+	capGB  float64
+	usedGB float64
+	anonGB float64
+
+	entries map[string]*poolEntry
+	lru     *list.List // front = most recently used; back = LRU victim
+}
+
+type poolEntry struct {
+	key    string
+	gb     float64
+	parked bool
+	// loaded marks the copy as materialised: the model was actually
+	// fetched into the reserved space at least once. A bare reservation
+	// is space, not data — reloading from it would be a phantom warm
+	// start.
+	loaded bool
+	elem   *list.Element
+}
+
+// NewMemPool returns an empty pool with the given capacity.
+func NewMemPool(capGB float64) *MemPool {
+	return &MemPool{
+		capGB:   capGB,
+		entries: make(map[string]*poolEntry),
+		lru:     list.New(),
+	}
+}
+
+// CapacityGB returns the pool capacity.
+func (m *MemPool) CapacityGB() float64 { return m.capGB }
+
+// UsedGB returns reserved memory (keyed plus anonymous).
+func (m *MemPool) UsedGB() float64 { return m.usedGB }
+
+// FreeGB returns unreserved capacity.
+func (m *MemPool) FreeGB() float64 { return m.capGB - m.usedGB }
+
+// Occupancy returns UsedGB/CapacityGB, the pool-pressure metric; zero
+// when the pool has no capacity.
+func (m *MemPool) Occupancy() float64 {
+	if m.capGB <= 0 {
+		return 0
+	}
+	return m.usedGB / m.capGB
+}
+
+// Reserve makes an anonymous reservation. It reports false when the
+// pool cannot fit it (exact fit is allowed).
+func (m *MemPool) Reserve(gb float64) bool {
+	if m.usedGB+gb > m.capGB {
+		return false
+	}
+	m.anonGB += gb
+	m.usedGB += gb
+	return true
+}
+
+// Release returns anonymously reserved memory. Releasing more than was
+// reserved panics (beyond a float-noise tolerance, which is clamped).
+func (m *MemPool) Release(gb float64) {
+	m.anonGB -= gb
+	m.usedGB -= gb
+	if m.anonGB < -1e-9 {
+		panic(fmt.Sprintf("cluster: warm memory went negative (%v)", m.anonGB))
+	}
+	if m.anonGB < 0 {
+		m.usedGB -= m.anonGB
+		m.anonGB = 0
+	}
+	if m.usedGB < 0 {
+		m.usedGB = 0
+	}
+}
+
+// Has reports whether the pool holds a copy for key.
+func (m *MemPool) Has(key string) bool {
+	_, ok := m.entries[key]
+	return ok
+}
+
+// Parked reports whether key's copy is parked (resident with no live
+// binding). False when the key is absent.
+func (m *MemPool) Parked(key string) bool {
+	e, ok := m.entries[key]
+	return ok && e.parked
+}
+
+// ReserveModel reserves gb for the model copy key, marking it most
+// recently used. An already-present key is refreshed in place (and
+// un-parked) regardless of gb. Reports false when the pool cannot fit
+// the reservation; the caller decides whether to evict and retry.
+func (m *MemPool) ReserveModel(key string, gb float64) bool {
+	if e, ok := m.entries[key]; ok {
+		e.parked = false
+		m.lru.MoveToFront(e.elem)
+		return true
+	}
+	if m.usedGB+gb > m.capGB {
+		return false
+	}
+	e := &poolEntry{key: key, gb: gb}
+	e.elem = m.lru.PushFront(e)
+	m.entries[key] = e
+	m.usedGB += gb
+	return true
+}
+
+// ReleaseModel drops key's reservation. Unknown keys are a no-op, so
+// teardown paths may release defensively.
+func (m *MemPool) ReleaseModel(key string) {
+	e, ok := m.entries[key]
+	if !ok {
+		return
+	}
+	m.lru.Remove(e.elem)
+	delete(m.entries, key)
+	m.usedGB -= e.gb
+	if m.usedGB < 0 {
+		m.usedGB = 0
+	}
+}
+
+// Touch marks key's copy most recently used.
+func (m *MemPool) Touch(key string) {
+	if e, ok := m.entries[key]; ok {
+		m.lru.MoveToFront(e.elem)
+	}
+}
+
+// MarkLoaded records that key's copy was materialised: a model fetch
+// completed into the reserved space. Unknown keys are a no-op (the
+// reservation may have been evicted while the fetch was in flight).
+func (m *MemPool) MarkLoaded(key string) {
+	if e, ok := m.entries[key]; ok {
+		e.loaded = true
+	}
+}
+
+// LoadedCopy reports whether the pool holds a materialised copy for
+// key — a reservation whose model fetch completed. Only such a copy can
+// make a later load warm.
+func (m *MemPool) LoadedCopy(key string) bool {
+	e, ok := m.entries[key]
+	return ok && e.loaded
+}
+
+// Park marks key's copy as having no live binding: it stays resident
+// and reclaimable, but becomes an eviction candidate.
+func (m *MemPool) Park(key string) {
+	if e, ok := m.entries[key]; ok {
+		e.parked = true
+	}
+}
+
+// Reclaim re-attaches a parked copy to a live binding, marking it most
+// recently used. Reports false when the key is absent.
+func (m *MemPool) Reclaim(key string) bool {
+	e, ok := m.entries[key]
+	if !ok {
+		return false
+	}
+	e.parked = false
+	m.lru.MoveToFront(e.elem)
+	return true
+}
+
+// EvictLRU removes and returns the least-recently-used copy for which
+// evictable returns true (parked copies are always candidates). ok is
+// false when no copy may be evicted.
+func (m *MemPool) EvictLRU(evictable func(key string) bool) (string, float64, bool) {
+	for el := m.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*poolEntry)
+		if e.parked || (evictable != nil && evictable(e.key)) {
+			m.lru.Remove(e.elem)
+			delete(m.entries, e.key)
+			m.usedGB -= e.gb
+			if m.usedGB < 0 {
+				m.usedGB = 0
+			}
+			return e.key, e.gb, true
+		}
+	}
+	return "", 0, false
+}
+
+// Models returns the resident copy keys, sorted, for snapshots.
+func (m *MemPool) Models() []string {
+	out := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParkedCount returns how many resident copies are parked.
+func (m *MemPool) ParkedCount() int {
+	n := 0
+	for _, e := range m.entries {
+		if e.parked {
+			n++
+		}
+	}
+	return n
+}
+
+// DropAll empties the pool (a node crash loses CPU memory).
+func (m *MemPool) DropAll() {
+	m.usedGB = 0
+	m.anonGB = 0
+	m.entries = make(map[string]*poolEntry)
+	m.lru.Init()
+}

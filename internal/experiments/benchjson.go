@@ -28,6 +28,9 @@ type BenchDoc struct {
 	// Planner is the planner fast-path study (cache-on/off identity,
 	// hit rate, wall-clock), present when -exp planner ran.
 	Planner *PlannerResult `json:"planner,omitempty"`
+	// Swap is the swap-tier density study (models-per-GPU sweep,
+	// off-switch identity), present when -exp swap ran.
+	Swap *SwapResult `json:"swap,omitempty"`
 }
 
 // BenchRun flattens one SystemResult to its reportable scalars.
@@ -68,13 +71,14 @@ func benchRun(r SystemResult) BenchRun {
 
 // WriteBenchJSON writes the bench document for an end-to-end matrix and
 // optional analytics / planner-study reports.
-func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult) error {
+func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult, sw *SwapResult) error {
 	doc := BenchDoc{
 		Experiment: exp,
 		Seed:       e2e.Cfg.Seed,
 		Duration:   e2e.Cfg.Duration,
 		Analytics:  rp,
 		Planner:    pl,
+		Swap:       sw,
 	}
 	for _, wl := range Workloads {
 		for _, sys := range systemsOrder() {

@@ -109,6 +109,12 @@ type Config struct {
 	// Overload enables the overload-control subsystem (zero = off, the
 	// paper's configuration; used by the overload extension study).
 	Overload overload.Config
+	// Swap enables the model-swapping memory tier (zero = off, the
+	// paper's configuration; used by the density extension study).
+	Swap platform.SwapOptions
+	// CPUMemGB is the host memory per node (default 1440, paper Table 3;
+	// the density study constrains it to put the pool under pressure).
+	CPUMemGB float64
 	// Priorities assigns per-app priority classes (index = app order;
 	// missing entries default to 0). Brownout shedding spares the
 	// highest class.
@@ -152,6 +158,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RateScale <= 0 {
 		c.RateScale = 1
+	}
+	if c.CPUMemGB <= 0 {
+		c.CPUMemGB = 1440
 	}
 	return c
 }
@@ -292,11 +301,11 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	cl := cluster.New(cluster.Spec{
 		Nodes:      cfg.Nodes,
 		GPUConfigs: cfg.GPUConfigs,
-		CPUMemGB:   1440,
+		CPUMemGB:   cfg.CPUMemGB,
 	})
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
-		Faults: cfg.Faults, Overload: cfg.Overload,
+		Faults: cfg.Faults, Overload: cfg.Overload, Swap: cfg.Swap,
 		Obs: cfg.Obs, EventLogCap: cfg.EventLogCap,
 		DisablePlanCache: cfg.DisablePlanCache,
 	})

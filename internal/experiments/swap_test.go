@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+func TestSwapTraceStructure(t *testing.T) {
+	for _, n := range []int{4, 8, 12, 20} {
+		tr := swapTrace(n)
+		if tr.NumFuncs != n {
+			t.Fatalf("n=%d: NumFuncs = %d", n, tr.NumFuncs)
+		}
+		if tr.Duration != swapPhases*swapPhaseLen {
+			t.Fatalf("n=%d: duration = %v", n, tr.Duration)
+		}
+		seen := make(map[int]bool)
+		last := -1.0
+		for i, rq := range tr.Requests {
+			if rq.ID != i {
+				t.Fatalf("n=%d: sparse request IDs at %d", n, i)
+			}
+			if rq.Arrival < last {
+				t.Fatalf("n=%d: arrivals not sorted at %d", n, i)
+			}
+			last = rq.Arrival
+			if rq.Arrival >= tr.Duration {
+				t.Fatalf("n=%d: arrival %v past duration", n, rq.Arrival)
+			}
+			if rq.Func < 0 || rq.Func >= n {
+				t.Fatalf("n=%d: out-of-range func %d", n, rq.Func)
+			}
+			seen[rq.Func] = true
+		}
+		if len(seen) != n {
+			t.Errorf("n=%d: only %d models received traffic", n, len(seen))
+		}
+	}
+	// The single-group baseline idles alternate phases: it must have
+	// strictly fewer requests than two back-to-back groups would, so
+	// the baseline too pays cool-off/reload transitions.
+	if a, b := len(swapTrace(4).Requests), len(swapTrace(8).Requests); a >= b {
+		t.Errorf("baseline trace (%d reqs) not lighter than two-group trace (%d)", a, b)
+	}
+}
+
+func TestSwapDensityPrefixRule(t *testing.T) {
+	pts := []SwapPoint{
+		{PerGPU: 2, SLOHitOn: 0.90, SLOHitOff: 0.70},
+		{PerGPU: 4, SLOHitOn: 0.70, SLOHitOff: 0.60},
+		{PerGPU: 6, SLOHitOn: 0.60, SLOHitOff: 0.50},
+		// A later census that recovers above the bar must not count:
+		// density is the largest census with every smaller one passing.
+		{PerGPU: 8, SLOHitOn: 0.80, SLOHitOff: 0.40},
+	}
+	base := 0.70 // bar = 0.95 * 0.70 = 0.665
+	if got := swapDensity(pts, base, func(p SwapPoint) float64 { return p.SLOHitOn }); got != 4 {
+		t.Errorf("on density = %v, want 4 (prefix rule)", got)
+	}
+	if got := swapDensity(pts, base, func(p SwapPoint) float64 { return p.SLOHitOff }); got != 2 {
+		t.Errorf("off density = %v, want 2", got)
+	}
+	if got := swapDensity(nil, base, func(p SwapPoint) float64 { return 1 }); got != 0 {
+		t.Errorf("empty sweep density = %v, want 0", got)
+	}
+}

@@ -26,20 +26,34 @@ func NewTrackerWindow(w float64) *Tracker {
 	return &Tracker{window: w}
 }
 
-// Begin records that the instance started serving at time now.
+// Begin records that the instance started serving at time now. Busy
+// intervals may legitimately begin in the past (completion callbacks
+// back-date the service start), but lastUse never moves backwards past
+// activity a later Touch already recorded.
 func (t *Tracker) Begin(now float64) {
-	t.lastUse = now
+	if now > t.lastUse {
+		t.lastUse = now
+	}
 	if n := len(t.intervals); n > 0 && t.intervals[n-1][1] < 0 {
 		return // already serving
 	}
 	t.intervals = append(t.intervals, [2]float64{now, -1})
 }
 
-// End records that the instance stopped serving at time now.
+// End records that the instance stopped serving at time now. An End
+// with no open interval counts as plain activity (Touch) rather than
+// being dropped, and an End before the interval's start clamps to a
+// zero-length interval; lastUse is monotonic in both cases.
 func (t *Tracker) End(now float64) {
-	t.lastUse = now
+	if now > t.lastUse {
+		t.lastUse = now
+	}
 	if n := len(t.intervals); n > 0 && t.intervals[n-1][1] < 0 {
-		t.intervals[n-1][1] = now
+		end := now
+		if end < t.intervals[n-1][0] {
+			end = t.intervals[n-1][0]
+		}
+		t.intervals[n-1][1] = end
 	}
 }
 
@@ -120,6 +134,11 @@ const (
 	// RemoteFetchGBps is the effective remote-storage fetch bandwidth
 	// (registry or cached object store over the datacenter network).
 	RemoteFetchGBps = 5.0
+	// DtoHBandwidthGBps is the effective device-to-host writeback
+	// bandwidth for swapping a model out of GPU memory. Writeback
+	// contends with ongoing host-to-device traffic, so it is modelled
+	// slightly below the HtoD figure.
+	DtoHBandwidthGBps = 10.0
 )
 
 // WarmLoadTime returns the host-to-device reload time for memGB of model
@@ -138,4 +157,19 @@ func ColdStartTime(memGB float64) float64 {
 		memGB = 0
 	}
 	return ColdStartBase + memGB/RemoteFetchGBps + memGB/PCIeBandwidthGBps
+}
+
+// SwapInTime returns the time to restore a model from the host pool to
+// device memory: a pure PCIe host-to-device copy, identical in cost to
+// a warm reload (the pool copy is exactly the warm copy, managed).
+func SwapInTime(memGB float64) float64 { return WarmLoadTime(memGB) }
+
+// SwapOutTime returns the time to write a model's device state back to
+// the host pool over PCIe, paid when a swap demotion must drain GPU
+// memory before its slices are reusable.
+func SwapOutTime(memGB float64) float64 {
+	if memGB < 0 {
+		memGB = 0
+	}
+	return memGB / DtoHBandwidthGBps
 }

@@ -153,6 +153,74 @@ func TestTrackerDoubleBeginIgnored(t *testing.T) {
 	}
 }
 
+// TestTrackerDefensiveSequences: out-of-order Begin/End/Touch calls
+// (completion callbacks fire in event order, not wall order) must keep
+// lastUse monotonic and never drop or corrupt activity.
+func TestTrackerDefensiveSequences(t *testing.T) {
+	cases := []struct {
+		name    string
+		drive   func(tr *Tracker)
+		lastUse float64
+		util    float64 // at now=10, window 10
+	}{
+		{
+			// An End with no open interval is still evidence the
+			// instance was active: it must count as a Touch, not vanish.
+			name:    "end without begin touches",
+			drive:   func(tr *Tracker) { tr.End(3) },
+			lastUse: 3,
+			util:    0,
+		},
+		{
+			// A Begin back-dated before activity a later Touch recorded
+			// must not rewind lastUse.
+			name: "stale begin keeps lastUse",
+			drive: func(tr *Tracker) {
+				tr.Touch(6)
+				tr.Begin(2)
+				tr.End(4)
+			},
+			lastUse: 6,
+			util:    0.2,
+		},
+		{
+			// An End before its interval's start clamps to a zero-length
+			// interval rather than going negative.
+			name: "end before start clamps",
+			drive: func(tr *Tracker) {
+				tr.Begin(5)
+				tr.End(3)
+			},
+			lastUse: 5,
+			util:    0,
+		},
+		{
+			// A stale End after a fresher Touch closes the interval at
+			// the End time but leaves lastUse at the Touch.
+			name: "stale end keeps lastUse",
+			drive: func(tr *Tracker) {
+				tr.Begin(1)
+				tr.Touch(8)
+				tr.End(4)
+			},
+			lastUse: 8,
+			util:    0.3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTrackerWindow(10)
+			tc.drive(tr)
+			if got := tr.LastUse(); got != tc.lastUse {
+				t.Errorf("LastUse = %v, want %v", got, tc.lastUse)
+			}
+			if got := tr.Utilization(10); math.Abs(got-tc.util) > 1e-12 {
+				t.Errorf("Utilization(10) = %v, want %v", got, tc.util)
+			}
+		})
+	}
+}
+
 // Property: utilisation is always within [0, 1].
 func TestTrackerBoundsProperty(t *testing.T) {
 	f := func(raw []uint8) bool {
@@ -225,6 +293,27 @@ func TestLoadTimes(t *testing.T) {
 	want := ColdStartBase + 12.0/RemoteFetchGBps + 12.0/PCIeBandwidthGBps
 	if math.Abs(cold-want) > 1e-12 {
 		t.Errorf("ColdStartTime(12) = %v, want %v", cold, want)
+	}
+}
+
+func TestSwapTimes(t *testing.T) {
+	// A swap-in is the managed warm reload: same PCIe copy, same cost.
+	if got := SwapInTime(24); got != WarmLoadTime(24) {
+		t.Errorf("SwapInTime(24) = %v, want WarmLoadTime %v", got, WarmLoadTime(24))
+	}
+	if got := SwapOutTime(20); math.Abs(got-20.0/DtoHBandwidthGBps) > 1e-12 {
+		t.Errorf("SwapOutTime(20) = %v", got)
+	}
+	// Device-to-host is the slower direction, and both swap directions
+	// must stay far below a cold start for the tier to pay off.
+	if SwapOutTime(20) <= SwapInTime(20) {
+		t.Error("swap-out should cost more than swap-in (DtoH < HtoD bandwidth)")
+	}
+	if SwapInTime(20)+SwapOutTime(20) >= ColdStartTime(20) {
+		t.Error("full swap round-trip should undercut a cold start")
+	}
+	if SwapInTime(-3) != 0 || SwapOutTime(-3) != 0 {
+		t.Error("negative sizes should clamp to 0")
 	}
 }
 

@@ -44,6 +44,12 @@ type Config struct {
 	// Dwell is the minimum sojourn (s) at a level before the ladder
 	// may de-escalate (default 5).
 	Dwell float64
+
+	// SwapHeadroom is the host-pool occupancy ceiling below which a
+	// brownout at LevelShed prefers swapping an idle model out of GPU
+	// memory over shedding traffic (default 0.95). Only consulted when
+	// the platform's swap tier is enabled.
+	SwapHeadroom float64
 }
 
 // Enabled reports whether any overload-control feature is on.
@@ -66,7 +72,18 @@ func (c Config) Defaulted() Config {
 	if c.Dwell <= 0 {
 		c.Dwell = 5
 	}
+	if c.SwapHeadroom <= 0 {
+		c.SwapHeadroom = 0.95
+	}
 	return c
+}
+
+// PreferSwapRelief reports whether a shed-level brownout should try a
+// swap demotion (freeing GPU memory by writing an idle model back to
+// the host pool) before rejecting traffic: only at LevelShed, and only
+// while the pool still has headroom to take the copy.
+func (c Config) PreferSwapRelief(level Level, poolOccupancy float64) bool {
+	return level >= LevelShed && poolOccupancy < c.Defaulted().SwapHeadroom
 }
 
 // Level is a rung of the brownout ladder.

@@ -71,6 +71,30 @@ func TestConfigDefaulted(t *testing.T) {
 	}
 }
 
+// TestPreferSwapRelief: swap relief only replaces a shed — never a
+// milder brownout rung — and only while the pool can take the copy.
+func TestPreferSwapRelief(t *testing.T) {
+	c := Config{}
+	for _, lvl := range []Level{LevelNormal, LevelConserve, LevelDegrade} {
+		if c.PreferSwapRelief(lvl, 0) {
+			t.Errorf("relief preferred at %v, want shed-only", lvl)
+		}
+	}
+	if !c.PreferSwapRelief(LevelShed, 0.5) {
+		t.Error("relief refused at shed with ample headroom")
+	}
+	if c.PreferSwapRelief(LevelShed, 0.95) {
+		t.Error("relief preferred at the default headroom ceiling")
+	}
+	tight := Config{SwapHeadroom: 0.5}
+	if tight.PreferSwapRelief(LevelShed, 0.6) {
+		t.Error("relief ignored an explicit headroom ceiling")
+	}
+	if !tight.PreferSwapRelief(LevelShed, 0.4) {
+		t.Error("relief refused below the explicit ceiling")
+	}
+}
+
 // TestLevelString names every rung.
 func TestLevelString(t *testing.T) {
 	want := map[Level]string{

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -141,6 +142,9 @@ func (p *Platform) pickInvokerForTS(fn *Function) *Invoker {
 func (p *Platform) controlTick() {
 	p.brownoutTick()
 	p.scaleUp()
+	if p.swapOn() {
+		p.decayLoadChurn()
+	}
 	p.manageKeepAlive()
 	for _, inv := range p.inv {
 		inv.maintainPool()
@@ -195,6 +199,43 @@ func (p *Platform) scaleUp() {
 			want = int(math.Ceil(float64(demand) / float64(fn.bestCapacity(p.opts.QueueSlack))))
 			if want > 4 {
 				want = 4
+			}
+		} else if p.swapOn() && p.opts.Policy.TimeSharing() && fn.ts != nil &&
+			len(fn.instances) == 0 && fn.ts.everLoaded && fn.ts.hostMemGB > 0 &&
+			fn.ts.loadChurn >= swapChurnPromote*keepalive.SwapInTime(fn.memGB) {
+			// Swap-aware churn response: the binding keeps re-paying
+			// swap-ins because its slice's working set exceeds residency.
+			// Cheap warm reloads keep every queue just short of the
+			// pending-overflow trigger, so the pool never grows and the
+			// slice sits in a metastable churn regime (the expensive cold
+			// reload the legacy path pays here overflows the queue and
+			// escapes it — the tier must not be worse than that). Spread
+			// the binding to its own pool slice; if it is already alone,
+			// promote it — the pool holds a materialised copy, so the
+			// launch costs one swap-in, not a refetch. Checked before the
+			// hotness promotion: a churning binding often IS hot (all that
+			// reload time counts nothing, but the execs add up), and the
+			// exclusive launch the hotness rung asks for rarely places
+			// while the churn holds every medium slice busy.
+			if len(fn.ts.shared.bindings) > 1 {
+				inv := fn.ts.shared.inv
+				ok := inv.rebindToFreshSlice(fn)
+				if !ok && inv.reclaimIdle() > 0 {
+					// Idle pool slices (stale bindings riding out the
+					// keep-alive window) must not pin a churning binding
+					// to a shared slice; reclaim them and retry.
+					ok = inv.rebindToFreshSlice(fn)
+				}
+				if ok {
+					fn.ts.loadChurn = 0
+					p.logEvent(EvPromote, fn.spec.Name, "reload churn: spread to own pool slice")
+				}
+				// Otherwise: no slice to spread to; keep the churn and
+				// retry next tick.
+			} else {
+				fn.ts.loadChurn = 0
+				want = 1
+				p.logEvent(EvPromote, fn.spec.Name, "reload churn on shared slice")
 			}
 		} else if p.opts.Policy.TimeSharing() && fn.ts != nil &&
 			len(fn.instances) == 0 && fn.ts.tracker.IsHot(now) {
@@ -332,14 +373,24 @@ func (inv *Invoker) maintainPool() {
 			if b.outstanding > 0 {
 				continue
 			}
-			if b.tracker.IdleFor(now) >= p.effKeepAlive() {
+			window := p.effKeepAlive()
+			if p.swapOn() && b.everLoaded && b.hostMemGB > 0 &&
+				p.opts.Swap.ParkAfter < window {
+				// Swap-aware demotion: the materialised pool copy keeps
+				// the model warm on its own, so an idle binding need not
+				// ride out the keep-alive window pinning a shared slice.
+				window = p.opts.Swap.ParkAfter
+			}
+			if b.tracker.IdleFor(now) >= window {
 				if b.state.State() == keepalive.TimeSharing {
 					if err := b.state.To(keepalive.Warm); err != nil {
 						panic(err)
 					}
 				}
-				if err := b.state.To(keepalive.Cold); err != nil {
-					panic(err)
+				if b.state.State() == keepalive.Warm {
+					if err := b.state.To(keepalive.Cold); err != nil {
+						panic(err)
+					}
 				}
 				p.logEvent(EvCold, b.fn.spec.Name, "idle past the keep-alive window")
 				inv.unbind(b)
@@ -399,10 +450,30 @@ func (p *Platform) nodeOf(sl *mig.Slice) *cluster.Node {
 	return p.cl.Nodes[sl.GPU.Node]
 }
 
-// loadTimeFor models instance startup cost: a warm load when the
-// function ran on the node within the keep-alive window (image and
-// weights cached in host memory), a full cold start otherwise.
+// loadTimeFor models instance startup cost. With the swap tier on, the
+// node's host pool is the source of truth: a resident copy means a
+// swap-in over PCIe, anything else a full cold start (which also
+// establishes the pool copy, evicting LRU victims if needed). Off, the
+// legacy heuristic applies: a warm load when the function ran on the
+// node within the keep-alive window.
 func (p *Platform) loadTimeFor(fn *Function, node *cluster.Node, now float64) float64 {
+	if p.swapOn() {
+		pool := node.Pool()
+		name := fn.spec.Name
+		if pool.LoadedCopy(name) {
+			if pool.Parked(name) {
+				p.swapIns++
+				p.logEvent(EvSwapIn, name,
+					fmt.Sprintf("exclusive launch from parked copy on node%d", node.ID))
+			}
+			pool.Reclaim(name)
+			return keepalive.SwapInTime(fn.memGB)
+		}
+		// No materialised copy (a bare reservation is only space): the
+		// launch refetches remotely, establishing the pool copy.
+		p.ensureHostCopy(node, fn)
+		return keepalive.ColdStartTime(fn.memGB)
+	}
 	if last, ok := fn.lastNodeUse[node.ID]; ok && now-last < p.opts.KeepAlive {
 		return keepalive.WarmLoadTime(fn.memGB)
 	}

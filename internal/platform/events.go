@@ -53,6 +53,13 @@ const (
 	// EvContract: a pipelined instance was contracted to a smaller
 	// footprint under brownout.
 	EvContract
+	// EvSwapIn: a load was served from a parked host-pool copy instead
+	// of a remote refetch (swap tier).
+	EvSwapIn
+	// EvSwapOut: a model's host-pool copy was evicted under memory
+	// pressure, or an idle model was swapped out of GPU memory to
+	// relieve a brownout (swap tier).
+	EvSwapOut
 )
 
 // String names the event kind.
@@ -92,6 +99,10 @@ func (k EventKind) String() string {
 		return "brownout"
 	case EvContract:
 		return "contract"
+	case EvSwapIn:
+		return "swap-in"
+	case EvSwapOut:
+		return "swap-out"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -118,6 +129,7 @@ var eventKindNames = map[string]EventKind{
 	"pool-shrink": EvPoolShrink, "fault": EvFault, "recover": EvRecover,
 	"retry": EvRetry, "reject": EvReject, "shed": EvShed,
 	"brownout": EvBrownout, "contract": EvContract,
+	"swap-in": EvSwapIn, "swap-out": EvSwapOut,
 }
 
 // ParseEventKind resolves an event-kind name ("fault", "retry", ...)

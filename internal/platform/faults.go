@@ -85,9 +85,17 @@ func (p *Platform) injectFault(ev faults.Event) {
 			}
 		}
 		// The crash loses the host memory holding warm copies, and the
-		// node's image/weight cache: future loads there are cold.
+		// node's image/weight cache: future loads there are cold. Every
+		// surviving binding on the node must also forget its reservation
+		// — a binding that kept hostMemGB past DropWarm would release
+		// memory the pool no longer tracks and trip the negative-memory
+		// panic on unbind.
 		node.DropWarm()
 		for _, fn := range p.funcs {
+			if b := fn.ts; b != nil && b.shared.inv.node == node {
+				b.hostMemGB = 0
+				b.everLoaded = false
+			}
 			delete(fn.lastNodeUse, node.ID)
 		}
 	}
@@ -224,7 +232,11 @@ func (p *Platform) failShared(ss *sharedSlice) {
 			}
 		}
 		if b.hostMemGB > 0 {
-			inv.node.ReleaseWarm(b.hostMemGB)
+			if p.swapOn() {
+				inv.node.Pool().ReleaseModel(name)
+			} else {
+				inv.node.ReleaseWarm(b.hostMemGB)
+			}
 			b.hostMemGB = 0
 		}
 		b.fn.ts = nil

@@ -80,6 +80,17 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 	}
 	inst.capacity = admissionCapacity(fn.spec.SLO, bottleneck, p.opts.QueueSlack)
 	inst.loadEndsAt = now + loadTime
+	if p.swapOn() {
+		// The initial fetch materialises the pool copy when it lands;
+		// until then the reservation is space without data. No-op if the
+		// pool evicted the reservation mid-fetch.
+		name := fn.spec.Name
+		p.eng.After(loadTime, func() {
+			if !inst.failed {
+				node.Pool().MarkLoaded(name)
+			}
+		})
+	}
 	for si, sp := range plan.Stages {
 		sl := slices[si]
 		if sl.Type != sp.SliceType {
@@ -315,6 +326,9 @@ func (p *Platform) releaseInstance(inst *Instance) {
 	}
 	inst.fn.removeInstance(inst)
 	inst.fn.lastNodeUse[inst.node.ID] = now
+	if p.swapOn() {
+		p.parkIfUnused(inst.fn, inst.node)
+	}
 	p.logEvent(EvRelease, inst.id, "")
 	// Freed large slices may enable pipeline migration (§5.3).
 	if p.opts.Policy.Migration() {

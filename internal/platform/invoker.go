@@ -69,6 +69,12 @@ type tsBinding struct {
 	outstanding int
 	capacity    int
 	hostMemGB   float64 // host memory reserved for the warm copy
+	// loadChurn accumulates reload time the binding paid on recent
+	// kicks, decayed each control tick (swap tier only). Sustained
+	// churn means the slice's working set exceeds residency, the signal
+	// for swap-aware promotion: every request is being served — just
+	// behind a reload — so the pending-overflow trigger never fires.
+	loadChurn float64
 }
 
 // tsJob is one queued time-sharing request.
@@ -184,15 +190,38 @@ func (b *tsBinding) execOn() float64 {
 	return b.fn.monoExec[b.shared.slice.Type]
 }
 
-// estLoad estimates the load the next request would pay.
+// estLoad estimates the load the next request would pay. A warm reload
+// requires an actual host copy (hostMemGB > 0): a binding whose
+// reservation failed or whose copy the pool evicted pays a full cold
+// start, never a phantom warm load.
 func (b *tsBinding) estLoad() float64 {
 	if b.resident {
 		return 0
 	}
-	if b.everLoaded {
+	if b.everLoaded && b.hostMemGB > 0 {
 		return keepalive.WarmLoadTime(b.fn.memGB)
 	}
 	return keepalive.ColdStartTime(b.fn.memGB)
+}
+
+// reserveWarmCopy backs b with a host-memory copy. With the swap tier
+// on, the copy is a keyed pool reservation that may evict LRU victims
+// or reclaim a parked copy of the same model (making the next load a
+// swap-in instead of a remote fetch); off, it is the legacy anonymous
+// reservation, and failure simply leaves the binding copyless.
+func (inv *Invoker) reserveWarmCopy(b *tsBinding) {
+	fn := b.fn
+	if inv.p.swapOn() {
+		gb, hadCopy := inv.p.ensureHostCopy(inv.node, fn)
+		b.hostMemGB = gb
+		if hadCopy {
+			b.everLoaded = true
+		}
+		return
+	}
+	if inv.node.ReserveWarm(fn.memGB) {
+		b.hostMemGB = fn.memGB
+	}
 }
 
 // bindTS gives fn a time-sharing binding on this node, growing the pool
@@ -203,6 +232,16 @@ func (inv *Invoker) bindTS(fn *Function) *tsBinding {
 		return fn.ts
 	}
 	ss := inv.pickSharedSlice(fn)
+	if inv.p.swapOn() && ss != nil && len(ss.bindings) > 0 {
+		// Swap-aware bind placement: bindings are cheap to re-create
+		// (the model copy persists in the host pool), so they unbind
+		// early and re-bind often. Piling every re-bind onto the same
+		// shared slice round-robins reloads; take a fresh slice while
+		// one is free and share only when the node is truly full.
+		if grown := inv.growPool(fn); grown != nil {
+			ss = grown
+		}
+	}
 	if ss == nil {
 		ss = inv.growPool(fn)
 	}
@@ -222,9 +261,7 @@ func (inv *Invoker) bindTS(fn *Function) *tsBinding {
 	}
 	b.capacity = admissionCapacity(fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
 	// Keep a host-memory copy for warm reloads.
-	if inv.node.ReserveWarm(fn.memGB) {
-		b.hostMemGB = fn.memGB
-	}
+	inv.reserveWarmCopy(b)
 	b.tracker.Touch(inv.p.eng.Now())
 	ss.bindings[fn.spec.Name] = b
 	ss.lru.Touch(fn.spec.Name)
@@ -253,9 +290,7 @@ func (inv *Invoker) adoptShared(sl *mig.Slice, fn *Function) *tsBinding {
 		panic(err)
 	}
 	b.capacity = admissionCapacity(fn.spec.SLO, b.execOn(), inv.p.opts.QueueSlack)
-	if inv.node.ReserveWarm(fn.memGB) {
-		b.hostMemGB = fn.memGB
-	}
+	inv.reserveWarmCopy(b)
 	b.tracker.Touch(now)
 	ss.bindings[fn.spec.Name] = b
 	ss.lru.Touch(fn.spec.Name)
@@ -390,8 +425,10 @@ func (inv *Invoker) reclaimIdle() int {
 					panic(err)
 				}
 			}
-			if err := b.state.To(keepalive.Cold); err != nil {
-				panic(err)
+			if b.state.State() == keepalive.Warm {
+				if err := b.state.To(keepalive.Cold); err != nil {
+					panic(err)
+				}
 			}
 			inv.unbind(b)
 		}
@@ -471,9 +508,15 @@ func (ss *sharedSlice) kick(p *Platform) {
 			ss.evictResident(p)
 		}
 		load = b.estLoad()
+		if p.swapOn() {
+			b.loadChurn += load
+		}
 		ss.resident = b
 		b.resident = true
-		if b.state.State() == keepalive.Warm {
+		// Warm -> TimeSharing for a reload out of host memory, Cold ->
+		// TimeSharing (Fig. 8 transition 1) when the copy was lost and the
+		// load above is a full cold start.
+		if s := b.state.State(); s == keepalive.Warm || s == keepalive.Cold {
 			if err := b.state.To(keepalive.TimeSharing); err != nil {
 				panic(err)
 			}
@@ -511,6 +554,18 @@ func (ss *sharedSlice) kick(p *Platform) {
 		// launches on this node).
 		b.everLoaded = true
 		b.fn.lastNodeUse[ss.inv.node.ID] = end
+		if p.swapOn() {
+			// The fetch landed in host RAM on its way to the device:
+			// (re-)reserve the pool copy if the binding lost it, refresh
+			// its LRU position either way, and mark it materialised —
+			// from here on a reload out of it is a real warm start.
+			if b.hostMemGB == 0 {
+				b.hostMemGB, _ = p.ensureHostCopy(ss.inv.node, b.fn)
+			} else {
+				ss.inv.node.Pool().Touch(b.fn.spec.Name)
+			}
+			ss.inv.node.Pool().MarkLoaded(b.fn.spec.Name)
+		}
 		// Hotness counts execution only: a cold-start load must not make
 		// a rarely-used function look hot.
 		b.tracker.Begin(end - exec)
@@ -535,6 +590,16 @@ func (ss *sharedSlice) evictResident(p *Platform) {
 		if err := old.state.To(keepalive.Warm); err != nil {
 			panic(err)
 		}
+		if old.hostMemGB <= 0 {
+			// No host copy backs this binding (the reservation failed, or
+			// the pool evicted the copy): claiming Warm would charge the
+			// next reload a phantom WarmLoadTime. Fall through to Cold —
+			// the next load is a genuine remote refetch.
+			if err := old.state.To(keepalive.Cold); err != nil {
+				panic(err)
+			}
+			old.everLoaded = false
+		}
 	}
 	ss.resident = nil
 	p.evicted++
@@ -551,7 +616,14 @@ func (inv *Invoker) unbind(b *tsBinding) {
 		ss.resident = nil
 	}
 	if b.hostMemGB > 0 {
-		inv.node.ReleaseWarm(b.hostMemGB)
+		if inv.p.swapOn() {
+			// The copy stays in the pool, parked: a later rebind or
+			// exclusive launch reclaims it (swap-in) unless memory
+			// pressure evicts it first.
+			inv.node.Pool().Park(b.fn.spec.Name)
+		} else {
+			inv.node.ReleaseWarm(b.hostMemGB)
+		}
 	}
 	b.fn.ts = nil
 	// Release empty pool slices so exclusive instances can use them.

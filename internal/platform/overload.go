@@ -27,10 +27,16 @@ func (p *Platform) admissionReject(rq *request) bool {
 	fn := rq.fn
 	if oc.Brownout && p.ladder.Level() >= overload.LevelShed &&
 		fn.spec.Priority < p.maxPriority {
-		p.shed++
-		p.reject(rq, EvShed, fmt.Sprintf("brownout %s: priority %d below %d",
-			p.ladder.Level(), fn.spec.Priority, p.maxPriority))
-		return true
+		// With the swap tier on and pool headroom, prefer swapping an
+		// idle model out of GPU memory over shedding this request: the
+		// demotion frees capacity, and the request takes the normal
+		// routing path instead of a rejection.
+		if !p.trySwapRelief() {
+			p.shed++
+			p.reject(rq, EvShed, fmt.Sprintf("brownout %s: priority %d below %d",
+				p.ladder.Level(), fn.spec.Priority, p.maxPriority))
+			return true
+		}
 	}
 	if !oc.Admission || fn.spec.SLO <= 0 {
 		return false

@@ -96,6 +96,12 @@ type Options struct {
 	// slices, and the brownout degradation ladder. The zero value
 	// turns all three off, leaving runs bit-for-bit identical.
 	Overload overload.Config
+	// Swap enables the model-swapping memory tier (swap.go): per-model
+	// host-pool reservations with LRU eviction, parked copies that make
+	// rebinds a swap-in instead of a remote refetch, and brownout swap
+	// relief. The zero value keeps the legacy anonymous warm accounting,
+	// leaving runs bit-for-bit identical.
+	Swap SwapOptions
 	// Obs, when set, records per-request traces (typed spans on one
 	// track per MIG slice), lifecycle instants, and exportable metrics
 	// (latency histograms, per-slice busy counters). The recorder is a
@@ -164,6 +170,7 @@ func (o *Options) fillDefaults() {
 	if o.Retry.BackoffCap <= 0 {
 		o.Retry.BackoffCap = 1
 	}
+	o.Swap.fillDefaults()
 }
 
 // RetryPolicy bounds fault-triggered request retries. A request whose
@@ -230,12 +237,13 @@ func (rq *request) snapshot() {
 
 // Platform wires the controller, load balancer and invokers together.
 type Platform struct {
-	eng   *sim.Engine
-	cl    *cluster.Cluster
-	opts  Options
-	funcs []*Function
-	inv   []*Invoker
-	col   *metrics.Collector
+	eng      *sim.Engine
+	cl       *cluster.Cluster
+	opts     Options
+	funcs    []*Function
+	fnByName map[string]*Function
+	inv      []*Invoker
+	col      *metrics.Collector
 
 	// Sampled series for Figs. 3a and 16.
 	UtilGPCs     metrics.Timeline // active GPCs / total GPCs
@@ -244,6 +252,10 @@ type Platform struct {
 	// Fragmentation samples mig.FragmentationIndex over the free slices:
 	// how shattered the unallocated compute is (§4).
 	Fragmentation metrics.Timeline
+	// HostPoolOcc samples the mean host-memory pool occupancy across
+	// nodes (the swap tier's pressure signal; sampled regardless of
+	// whether the tier is enabled).
+	HostPoolOcc metrics.Timeline
 
 	events *obs.Bus[Event]
 
@@ -265,6 +277,12 @@ type Platform struct {
 	rejected     int     // admission fast-fails
 	shed         int     // brownout shed rejections (subset of rejected)
 	contractions int     // brownout pipeline contractions
+
+	// Swap-tier state (all inert when opts.Swap is zero).
+	swapIns       int  // loads served from a parked host-pool copy
+	swapOuts      int  // host-pool copies evicted under pressure
+	swapReliefs   int  // brownout sheds converted to swap demotions
+	reliefPending bool // a swap-relief drain is in flight
 	// runEnd bounds retry backoffs: a retry that cannot land before the
 	// run ends is pointless (the request would never be recorded).
 	runEnd float64
@@ -277,11 +295,12 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		panic("platform: nil policy")
 	}
 	p := &Platform{
-		eng:    sim.NewEngine(),
-		cl:     cl,
-		opts:   opts,
-		col:    metrics.NewCollector(),
-		runEnd: math.Inf(1),
+		eng:      sim.NewEngine(),
+		cl:       cl,
+		opts:     opts,
+		fnByName: make(map[string]*Function),
+		col:      metrics.NewCollector(),
+		runEnd:   math.Inf(1),
 	}
 	p.opts.Overload = p.opts.Overload.Defaulted()
 	p.ladder = overload.NewLadder(p.opts.Overload)
@@ -310,7 +329,12 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		if spec.Priority > p.maxPriority {
 			p.maxPriority = spec.Priority
 		}
-		p.funcs = append(p.funcs, newFunction(spec, !opts.DisablePlanCache))
+		fn := newFunction(spec, !opts.DisablePlanCache)
+		p.funcs = append(p.funcs, fn)
+		if _, dup := p.fnByName[spec.Name]; dup {
+			panic(fmt.Sprintf("platform: duplicate function name %q", spec.Name))
+		}
+		p.fnByName[spec.Name] = fn
 	}
 	for _, node := range cl.Nodes {
 		p.inv = append(p.inv, newInvoker(p, node))
@@ -493,6 +517,7 @@ func (p *Platform) sampleUtilization() {
 	}
 	p.UtilGPUs.Add(now, float64(active)/float64(len(gpus)))
 	p.Fragmentation.Add(now, mig.FragmentationIndex(gpus, now))
+	p.HostPoolOcc.Add(now, p.poolOccupancy())
 	if p.opts.OnSample != nil {
 		p.opts.OnSample(now, p.cl)
 	}

@@ -12,9 +12,22 @@ type Snapshot struct {
 	Time      float64         `json:"time"`
 	Slices    []SliceState    `json:"slices"`
 	Functions []FunctionState `json:"functions"`
+	HostPools []HostPoolState `json:"hostPools"`
 	Counters  Counters        `json:"counters"`
 	Brownout  string          `json:"brownout"`
 	Pressure  float64         `json:"pressure"`
+}
+
+// HostPoolState is one node's host-memory pool occupancy.
+type HostPoolState struct {
+	Node       int     `json:"node"`
+	CapacityGB float64 `json:"capacityGB"`
+	UsedGB     float64 `json:"usedGB"`
+	Occupancy  float64 `json:"occupancy"`
+	// Models lists resident model copies, sorted (empty under the
+	// legacy anonymous accounting).
+	Models []string `json:"models,omitempty"`
+	Parked int      `json:"parked,omitempty"`
 }
 
 // SliceState is one MIG slice's occupancy.
@@ -76,6 +89,9 @@ type Counters struct {
 	Rejected     int `json:"rejected"`
 	Shed         int `json:"shed"`
 	Contractions int `json:"contractions"`
+	SwapIns      int `json:"swapIns,omitempty"`
+	SwapOuts     int `json:"swapOuts,omitempty"`
+	SwapReliefs  int `json:"swapReliefs,omitempty"`
 }
 
 // Snapshot captures the platform's current state.
@@ -86,6 +102,7 @@ func (p *Platform) Snapshot() Snapshot {
 			Launched: p.launched, Evicted: p.evicted, Migrated: p.migrated,
 			Faults: p.faultsInjected, Recoveries: p.recoveries, Retries: p.retries,
 			Rejected: p.rejected, Shed: p.shed, Contractions: p.contractions,
+			SwapIns: p.swapIns, SwapOuts: p.swapOuts, SwapReliefs: p.swapReliefs,
 		},
 		Brownout: p.ladder.Level().String(),
 		Pressure: p.lastPressure,
@@ -117,6 +134,14 @@ func (p *Platform) Snapshot() Snapshot {
 				})
 			}
 		}
+	}
+
+	for _, node := range p.cl.Nodes {
+		pool := node.Pool()
+		s.HostPools = append(s.HostPools, HostPoolState{
+			Node: node.ID, CapacityGB: pool.CapacityGB(), UsedGB: pool.UsedGB(),
+			Occupancy: pool.Occupancy(), Models: pool.Models(), Parked: pool.ParkedCount(),
+		})
 	}
 
 	for _, fn := range p.funcs {

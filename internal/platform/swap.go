@@ -1,0 +1,246 @@
+package platform
+
+import (
+	"fmt"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/keepalive"
+)
+
+// This file is the model-swapping memory tier (ROADMAP §3, after
+// Torpor/FaaSwap): each node's host memory becomes a managed pool of
+// per-model copies (cluster.MemPool) instead of a bare byte counter.
+// With the tier enabled:
+//
+//   - A binding or exclusive launch reserves its model copy by name;
+//     when the pool is full, the least-recently-used idle copy is
+//     evicted to make room (its binding's next load pays a full cold
+//     start — "Cold" now means the pool truly evicted the model).
+//   - When a binding unbinds (keep-alive ageing, pool reclaim), its
+//     copy is parked rather than freed: a later rebind or exclusive
+//     launch reclaims it and pays SwapInTime, not a remote refetch.
+//   - A brownout at LevelShed first tries to swap an idle exclusive
+//     instance out of GPU memory (paying SwapOutTime for the
+//     device-to-host drain) instead of shedding traffic, when the pool
+//     has headroom (overload.Config.PreferSwapRelief).
+//
+// Everything is gated on Options.Swap.Enabled: disabled, the platform
+// uses the legacy anonymous warm accounting and is bit-for-bit
+// identical to pre-tier behaviour (enforced by TestSwapDisabledIdentity).
+
+// SwapOptions configure the model-swapping memory tier.
+type SwapOptions struct {
+	// Enabled turns the tier on. Off (the zero value), warm host copies
+	// use the legacy anonymous accounting and nothing here applies.
+	Enabled bool
+	// PinRecent protects a binding's host copy from pool eviction while
+	// the binding was active within this window (default 2 s), so a
+	// momentary lull cannot evict a model mid-burst.
+	PinRecent float64
+	// ParkAfter is the swap-aware demotion window (default 10 s): a
+	// time-sharing binding idle this long whose pool copy is
+	// materialised unbinds early — long before the legacy keep-alive
+	// window — parking the copy. The legacy path must hold bindings to
+	// stay warm; the tier needs only the pool copy, so idle models stop
+	// pinning shared slices they are not using. Their return costs one
+	// swap-in, not a refetch.
+	ParkAfter float64
+}
+
+func (o *SwapOptions) fillDefaults() {
+	if o.PinRecent <= 0 {
+		o.PinRecent = 2
+	}
+	if o.ParkAfter <= 0 {
+		o.ParkAfter = 10
+	}
+}
+
+// swapOn reports whether the swap tier is active.
+func (p *Platform) swapOn() bool { return p.opts.Swap.Enabled }
+
+// swapChurnPromote scales the reload-churn promotion threshold: a
+// binding whose decayed churn accumulator exceeds this many swap-ins'
+// worth of reload time gets an exclusive instance (controller.scaleUp).
+// With churnDecay 0.7 per control tick, two reloads a couple of seconds
+// apart cross the bar; a single reload never does.
+const (
+	swapChurnPromote = 1.25
+	churnDecay       = 0.7
+)
+
+// decayLoadChurn ages every binding's reload-churn accumulator; called
+// once per control tick while the swap tier is on.
+func (p *Platform) decayLoadChurn() {
+	for _, inv := range p.inv {
+		for _, ss := range inv.shared {
+			for _, b := range ss.bindings {
+				b.loadChurn *= churnDecay
+			}
+		}
+	}
+}
+
+// SwapIns returns how many loads were served from a parked host-pool
+// copy instead of a remote refetch.
+func (p *Platform) SwapIns() int { return p.swapIns }
+
+// SwapOuts returns how many host-pool copies were evicted under memory
+// pressure.
+func (p *Platform) SwapOuts() int { return p.swapOuts }
+
+// SwapReliefs returns how many brownout sheds were converted into swap
+// demotions of idle exclusive instances.
+func (p *Platform) SwapReliefs() int { return p.swapReliefs }
+
+// ensureHostCopy reserves pool space for fn's model on node, evicting
+// LRU victims as needed. It returns the reserved size (0 when the pool
+// could not fit the copy even after evictions) and whether a
+// materialised copy was already resident — the caller then knows the
+// next load is a swap-in, not a remote fetch. A bare reservation (fetch
+// never completed) is reclaimed but reported as no copy: warm starts
+// need data, not just space.
+func (p *Platform) ensureHostCopy(node *cluster.Node, fn *Function) (gb float64, hadCopy bool) {
+	pool := node.Pool()
+	name := fn.spec.Name
+	if pool.Has(name) {
+		loaded := pool.LoadedCopy(name)
+		if loaded && pool.Parked(name) {
+			p.swapIns++
+			p.logEvent(EvSwapIn, name, fmt.Sprintf("reclaimed parked copy on node%d", node.ID))
+		}
+		pool.Reclaim(name)
+		return fn.memGB, loaded
+	}
+	now := p.eng.Now()
+	for !pool.ReserveModel(name, fn.memGB) {
+		victim, vgb, ok := pool.EvictLRU(func(k string) bool {
+			return p.copyEvictable(node, k, now)
+		})
+		if !ok {
+			return 0, false
+		}
+		p.dropHostCopy(node, victim, vgb)
+	}
+	return fn.memGB, false
+}
+
+// copyEvictable reports whether model key's host copy on node may be
+// evicted: not while the model has a live exclusive instance there, and
+// not while its time-sharing binding is resident, has work in flight,
+// or was active within the PinRecent window.
+func (p *Platform) copyEvictable(node *cluster.Node, key string, now float64) bool {
+	fn := p.fnByName[key]
+	if fn == nil {
+		return true
+	}
+	for _, inst := range fn.instances {
+		if inst.node == node && !inst.failed {
+			return false
+		}
+	}
+	if b := fn.ts; b != nil && b.shared.inv.node == node {
+		if b.outstanding > 0 || b.resident {
+			return false
+		}
+		if b.tracker.IdleFor(now) < p.opts.Swap.PinRecent {
+			return false
+		}
+	}
+	return true
+}
+
+// dropHostCopy records the pool eviction of model key's copy on node:
+// the owning binding (if any) loses its warm backing, so its next load
+// pays a full cold start.
+func (p *Platform) dropHostCopy(node *cluster.Node, key string, gb float64) {
+	if fn := p.fnByName[key]; fn != nil {
+		if b := fn.ts; b != nil && b.shared.inv.node == node {
+			b.hostMemGB = 0
+			b.everLoaded = false
+		}
+	}
+	p.swapOuts++
+	p.logEvent(EvSwapOut, key, fmt.Sprintf("pool eviction on node%d (%.1f GB)", node.ID, gb))
+}
+
+// parkIfUnused parks fn's host copy on node when nothing there still
+// uses it: no live exclusive instance and no binding holding the copy.
+// Called when an exclusive instance releases — its model stays parked
+// in the pool for a cheap swap-in until pressure evicts it.
+func (p *Platform) parkIfUnused(fn *Function, node *cluster.Node) {
+	for _, other := range fn.instances {
+		if other.node == node && !other.failed {
+			return
+		}
+	}
+	if b := fn.ts; b != nil && b.shared.inv.node == node && b.hostMemGB > 0 {
+		return
+	}
+	node.Pool().Park(fn.spec.Name)
+}
+
+// poolOccupancy is the mean host-pool occupancy across nodes, the
+// pressure signal PreferSwapRelief consults.
+func (p *Platform) poolOccupancy() float64 {
+	if len(p.cl.Nodes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, n := range p.cl.Nodes {
+		sum += n.Pool().Occupancy()
+	}
+	return sum / float64(len(p.cl.Nodes))
+}
+
+// trySwapRelief converts a brownout shed into a swap demotion: the most
+// idle exclusive instance with no in-flight work drains its model to
+// the host pool (SwapOutTime) and then demotes, freeing GPU capacity
+// for the overloaded function; the triggering request is admitted into
+// the normal routing path instead of being rejected. One relief may be
+// in flight at a time; while it drains, further sheds proceed as usual.
+func (p *Platform) trySwapRelief() bool {
+	if !p.swapOn() || p.reliefPending {
+		return false
+	}
+	if !p.opts.Overload.PreferSwapRelief(p.ladder.Level(), p.poolOccupancy()) {
+		return false
+	}
+	now := p.eng.Now()
+	var victim *Instance
+	for _, fn := range p.funcs {
+		for _, inst := range fn.instances {
+			if inst.retiring || inst.failed || inst.migrating || inst.outstanding > 0 {
+				continue
+			}
+			if inst.tracker.IsHot(now) {
+				continue
+			}
+			if victim == nil || inst.tracker.IdleFor(now) > victim.tracker.IdleFor(now) ||
+				(inst.tracker.IdleFor(now) == victim.tracker.IdleFor(now) && inst.id < victim.id) {
+				victim = inst
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.retiring = true
+	p.reliefPending = true
+	p.swapReliefs++
+	drain := keepalive.SwapOutTime(victim.fn.memGB)
+	p.logEvent(EvSwapOut, victim.id,
+		fmt.Sprintf("brownout swap relief: draining to host pool (%.2fs)", drain))
+	p.eng.After(drain, func() {
+		p.reliefPending = false
+		if victim.failed {
+			return
+		}
+		if victim.outstanding == 0 {
+			p.demote(victim)
+		} else {
+			victim.retiring = false
+		}
+	})
+	return true
+}
