@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|planner|swap|all")
+	exp := flag.String("exp", "all", "experiment: table2|table5|fig3|fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table6|isolation|reconfig|slosweep|batching|chaining|resilience|overload|analytics|planner|swap|gray|all")
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Float64("duration", 300, "trace duration (s)")
 	loads := flag.String("loads", "", "comma-separated load multipliers for -exp overload (default 1,2,4)")
@@ -123,6 +123,12 @@ func main() {
 		swapRes = &r
 		fmt.Println(experiments.SwapTable(r))
 	})
+	var grayRes *experiments.GrayResult
+	show("gray", func() {
+		r := experiments.RunGray(cfg)
+		grayRes = &r
+		fmt.Println(experiments.GrayTable(r))
+	})
 	show("analytics", func() {
 		ar := experiments.RunAnalytics(cfg)
 		fmt.Println(experiments.AnalyticsBlameTable(ar.Report))
@@ -185,7 +191,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes, swapRes); err != nil {
+		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes, swapRes, grayRes); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -31,6 +31,10 @@ type BenchDoc struct {
 	// Swap is the swap-tier density study (models-per-GPU sweep,
 	// off-switch identity), present when -exp swap ran.
 	Swap *SwapResult `json:"swap,omitempty"`
+	// Gray is the gray-failure resilience study (rate × severity sweep
+	// across mitigation levels, off-switch identity), present when
+	// -exp gray ran.
+	Gray *GrayResult `json:"gray,omitempty"`
 }
 
 // BenchRun flattens one SystemResult to its reportable scalars.
@@ -71,7 +75,7 @@ func benchRun(r SystemResult) BenchRun {
 
 // WriteBenchJSON writes the bench document for an end-to-end matrix and
 // optional analytics / planner-study reports.
-func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult, sw *SwapResult) error {
+func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult, sw *SwapResult, gr *GrayResult) error {
 	doc := BenchDoc{
 		Experiment: exp,
 		Seed:       e2e.Cfg.Seed,
@@ -79,6 +83,7 @@ func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report
 		Analytics:  rp,
 		Planner:    pl,
 		Swap:       sw,
+		Gray:       gr,
 	}
 	for _, wl := range Workloads {
 		for _, sys := range systemsOrder() {

@@ -112,6 +112,10 @@ type Config struct {
 	// Swap enables the model-swapping memory tier (zero = off, the
 	// paper's configuration; used by the density extension study).
 	Swap platform.SwapOptions
+	// Gray enables the gray-failure resilience subsystem — slice health
+	// scoring, quarantine and hedged retries (zero = off, the paper's
+	// configuration; used by the gray-failure extension study).
+	Gray platform.GrayOptions
 	// CPUMemGB is the host memory per node (default 1440, paper Table 3;
 	// the density study constrains it to put the pool under pressure).
 	CPUMemGB float64
@@ -305,7 +309,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	})
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
-		Faults: cfg.Faults, Overload: cfg.Overload, Swap: cfg.Swap,
+		Faults: cfg.Faults, Overload: cfg.Overload, Swap: cfg.Swap, Gray: cfg.Gray,
 		Obs: cfg.Obs, EventLogCap: cfg.EventLogCap,
 		DisablePlanCache: cfg.DisablePlanCache,
 	})

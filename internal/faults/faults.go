@@ -33,6 +33,12 @@ const (
 	// NodeCrash takes down an invoker node: all its GPUs, plus the host
 	// memory holding warm model copies.
 	NodeCrash
+	// SliceDegraded is a gray failure: the slice keeps serving, but a
+	// severity multiplier (thermal throttling, ECC retirement, PCIe
+	// link degradation) stretches its exec, load and transfer times
+	// until the repair. No health check trips; only observed-vs-declared
+	// timing reveals it.
+	SliceDegraded
 )
 
 // String names the fault kind.
@@ -44,6 +50,8 @@ func (k Kind) String() string {
 		return "gpu-fault"
 	case NodeCrash:
 		return "node-crash"
+	case SliceDegraded:
+		return "slice-degraded"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -65,6 +73,10 @@ type Event struct {
 	// Recovery is the absolute repair time. Recovery past the run
 	// horizon means the hardware stays down for the rest of the run.
 	Recovery float64
+	// Severity is the slowdown multiplier of a SliceDegraded event
+	// (>= 1: exec, load and transfer times on the slice stretch by this
+	// factor until Recovery). Zero for fail-stop kinds.
+	Severity float64
 }
 
 // String renders the event for logs.
@@ -73,8 +85,12 @@ func (e Event) String() string {
 	switch e.Kind {
 	case GPUFault:
 		target = fmt.Sprintf("node%d/gpu%d", e.Node, e.GPU)
-	case SliceFault:
+	case SliceFault, SliceDegraded:
 		target = fmt.Sprintf("node%d/gpu%d/slice%d", e.Node, e.GPU, e.Slice)
+	}
+	if e.Kind == SliceDegraded {
+		return fmt.Sprintf("%8.2fs %-14s %-22s %.1fx repaired %.2fs",
+			e.Time, e.Kind, target, e.Severity, e.Recovery)
 	}
 	return fmt.Sprintf("%8.2fs %-11s %-22s repaired %.2fs", e.Time, e.Kind, target, e.Recovery)
 }
@@ -96,6 +112,19 @@ type Spec struct {
 	GPUMTTR   float64
 	NodeMTTR  float64
 
+	// DegradedRate is the cluster-wide gray-failure rate (SliceDegraded
+	// events per second). Zero disables the class.
+	DegradedRate float64
+	// DegradedMTTR is the mean duration of a degradation episode
+	// (default 60 s — thermal throttling clears on its own; ECC
+	// retirement waits for a drain).
+	DegradedMTTR float64
+	// DegradedMinSeverity and DegradedMaxSeverity bound the uniform
+	// severity draw (defaults 1.5x and 8x, the paper-reported range of
+	// silent slowdowns).
+	DegradedMinSeverity float64
+	DegradedMaxSeverity float64
+
 	// Script, when non-empty, is used verbatim (sorted by time) instead
 	// of generating from the rates — for targeted studies and tests.
 	Script []Event
@@ -111,12 +140,22 @@ func (s Spec) withDefaults() Spec {
 	if s.NodeMTTR <= 0 {
 		s.NodeMTTR = 180
 	}
+	if s.DegradedMTTR <= 0 {
+		s.DegradedMTTR = 60
+	}
+	if s.DegradedMinSeverity <= 1 {
+		s.DegradedMinSeverity = 1.5
+	}
+	if s.DegradedMaxSeverity < s.DegradedMinSeverity {
+		s.DegradedMaxSeverity = 8
+	}
 	return s
 }
 
 // Enabled reports whether the spec can produce any events.
 func (s Spec) Enabled() bool {
-	return len(s.Script) > 0 || s.SliceRate > 0 || s.GPURate > 0 || s.NodeRate > 0
+	return len(s.Script) > 0 || s.SliceRate > 0 || s.GPURate > 0 ||
+		s.NodeRate > 0 || s.DegradedRate > 0
 }
 
 // NodeTopo describes one node's GPUs for victim selection: the slice
@@ -161,6 +200,9 @@ func (s Schedule) Len() int { return len(s.Events) }
 func Build(spec Spec, seed int64, horizon float64, topo Topology) Schedule {
 	spec = spec.withDefaults()
 	if len(spec.Script) > 0 {
+		if err := ValidateScript(spec.Script, topo); err != nil {
+			panic("faults: " + err.Error())
+		}
 		evs := append([]Event(nil), spec.Script...)
 		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
 		return Schedule{Events: evs}
@@ -207,6 +249,82 @@ func Build(spec Spec, seed int64, horizon float64, topo Topology) Schedule {
 			})
 		}
 	}
+	if spec.DegradedRate > 0 {
+		rng := sim.NewRNG(seed, "faults/degraded")
+		gpus := topo.gpus()
+		for t := rng.Exp(1 / spec.DegradedRate); t < horizon; t += rng.Exp(1 / spec.DegradedRate) {
+			g := gpus[rng.Intn(len(gpus))]
+			if g.slices == 0 {
+				continue
+			}
+			sev := spec.DegradedMinSeverity +
+				rng.Float64()*(spec.DegradedMaxSeverity-spec.DegradedMinSeverity)
+			evs = append(evs, Event{
+				Time: t, Kind: SliceDegraded,
+				Node: g.node, GPU: g.gpu, Slice: rng.Intn(g.slices),
+				Recovery: t + rng.Exp(spec.DegradedMTTR),
+				Severity: sev,
+			})
+		}
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
 	return Schedule{Events: evs}
+}
+
+// ValidateScript checks an explicit Script against the cluster shape:
+// every event must target an in-range victim for its kind, repairs must
+// follow their faults, SliceDegraded events must carry a severity >= 1,
+// and two events of the same kind on the same victim must not have
+// overlapping [Time, Recovery) windows — an overlapping pair would make
+// the first repair silently revive hardware the second fault still
+// holds down. Build panics on an invalid script; callers wanting an
+// error instead validate up front.
+func ValidateScript(script []Event, topo Topology) error {
+	for i, e := range script {
+		if e.Node < 0 || e.Node >= len(topo.Nodes) {
+			return fmt.Errorf("script[%d] %s: node %d out of range [0,%d)",
+				i, e.Kind, e.Node, len(topo.Nodes))
+		}
+		gpus := topo.Nodes[e.Node].Slices
+		switch e.Kind {
+		case SliceFault, SliceDegraded:
+			if e.GPU < 0 || e.GPU >= len(gpus) {
+				return fmt.Errorf("script[%d] %s: gpu %d out of range [0,%d) on node %d",
+					i, e.Kind, e.GPU, len(gpus), e.Node)
+			}
+			if e.Slice < 0 || e.Slice >= gpus[e.GPU] {
+				return fmt.Errorf("script[%d] %s: slice %d out of range [0,%d) on node %d gpu %d",
+					i, e.Kind, e.Slice, gpus[e.GPU], e.Node, e.GPU)
+			}
+			if e.Kind == SliceDegraded && e.Severity < 1 {
+				return fmt.Errorf("script[%d] slice-degraded: severity %.2f < 1", i, e.Severity)
+			}
+		case GPUFault:
+			if e.GPU < 0 || e.GPU >= len(gpus) {
+				return fmt.Errorf("script[%d] %s: gpu %d out of range [0,%d) on node %d",
+					i, e.Kind, e.GPU, len(gpus), e.Node)
+			}
+		case NodeCrash:
+			// Node already checked.
+		default:
+			return fmt.Errorf("script[%d]: unknown fault kind %d", i, int(e.Kind))
+		}
+		if e.Recovery <= e.Time {
+			return fmt.Errorf("script[%d] %s: recovery %.2f not after fault time %.2f",
+				i, e.Kind, e.Recovery, e.Time)
+		}
+		// Overlap check against earlier events on the same victim: a
+		// repair window still open when the next same-kind fault strikes.
+		for j := 0; j < i; j++ {
+			o := script[j]
+			if o.Kind != e.Kind || o.Node != e.Node || o.GPU != e.GPU || o.Slice != e.Slice {
+				continue
+			}
+			if e.Time < o.Recovery && o.Time < e.Recovery {
+				return fmt.Errorf("script[%d] and script[%d]: overlapping %s windows on the same victim "+
+					"([%.2f,%.2f) vs [%.2f,%.2f))", j, i, e.Kind, o.Time, o.Recovery, e.Time, e.Recovery)
+			}
+		}
+	}
+	return nil
 }

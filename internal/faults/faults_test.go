@@ -112,6 +112,142 @@ func TestBuildEventShape(t *testing.T) {
 	}
 }
 
+// Degraded events carry an in-range severity, target real slices, and
+// come from their own RNG stream (enabling the class must not perturb
+// the fail-stop draws).
+func TestDegradedGeneration(t *testing.T) {
+	spec := Spec{DegradedRate: 0.1}
+	s := Build(spec, 11, 300, testTopo())
+	if s.Len() == 0 {
+		t.Fatal("no degraded events at a substantial rate")
+	}
+	for _, e := range s.Events {
+		if e.Kind != SliceDegraded {
+			t.Fatalf("unexpected kind in degraded-only build: %v", e)
+		}
+		if e.Severity < 1.5 || e.Severity > 8 {
+			t.Fatalf("severity %.2f outside default [1.5, 8]: %v", e.Severity, e)
+		}
+		if e.GPU < 0 || e.GPU >= 2 || e.Slice < 0 || e.Slice >= 3 {
+			t.Fatalf("degraded victim out of range: %v", e)
+		}
+		if e.Recovery <= e.Time {
+			t.Fatalf("recovery not after onset: %v", e)
+		}
+	}
+	if !spec.Enabled() {
+		t.Error("degraded-only spec reports disabled")
+	}
+
+	sliceOnly := Build(Spec{SliceRate: 0.05}, 11, 300, testTopo())
+	both := Build(Spec{SliceRate: 0.05, DegradedRate: 0.1}, 11, 300, testTopo())
+	var bothSlices []Event
+	for _, e := range both.Events {
+		if e.Kind == SliceFault {
+			bothSlices = append(bothSlices, e)
+		}
+	}
+	if len(bothSlices) != len(sliceOnly.Events) {
+		t.Fatalf("slice draws changed when degradation was enabled: %d vs %d",
+			len(bothSlices), len(sliceOnly.Events))
+	}
+	for i := range bothSlices {
+		if bothSlices[i] != sliceOnly.Events[i] {
+			t.Fatalf("slice event %d perturbed by the degraded stream", i)
+		}
+	}
+}
+
+// TestDegradedSeverityBounds: custom severity bounds are respected.
+func TestDegradedSeverityBounds(t *testing.T) {
+	spec := Spec{DegradedRate: 0.1, DegradedMinSeverity: 2, DegradedMaxSeverity: 3}
+	s := Build(spec, 5, 300, testTopo())
+	for _, e := range s.Events {
+		if e.Severity < 2 || e.Severity > 3 {
+			t.Fatalf("severity %.2f outside [2, 3]", e.Severity)
+		}
+	}
+}
+
+// TestValidateScript: out-of-range victims, inverted windows, bad
+// severities and overlapping same-victim windows are rejected with a
+// clear error; valid scripts (including the shapes existing regression
+// tests use) pass.
+func TestValidateScript(t *testing.T) {
+	topo := testTopo()
+	cases := []struct {
+		name   string
+		script []Event
+		ok     bool
+	}{
+		{"valid mixed", []Event{
+			{Time: 10, Kind: SliceFault, Node: 0, GPU: 1, Slice: 2, Recovery: 40},
+			{Time: 50, Kind: GPUFault, Node: 1, GPU: 0, Slice: -1, Recovery: 120},
+			{Time: 60, Kind: NodeCrash, Node: 1, GPU: -1, Slice: -1, Recovery: 200},
+			{Time: 70, Kind: SliceDegraded, Node: 0, GPU: 0, Slice: 0, Recovery: 100, Severity: 3},
+		}, true},
+		{"node out of range", []Event{
+			{Time: 1, Kind: NodeCrash, Node: 2, GPU: -1, Slice: -1, Recovery: 5},
+		}, false},
+		{"negative node", []Event{
+			{Time: 1, Kind: SliceFault, Node: -1, GPU: 0, Slice: 0, Recovery: 5},
+		}, false},
+		{"gpu out of range", []Event{
+			{Time: 1, Kind: GPUFault, Node: 0, GPU: 2, Slice: -1, Recovery: 5},
+		}, false},
+		{"slice out of range", []Event{
+			{Time: 1, Kind: SliceFault, Node: 0, GPU: 0, Slice: 3, Recovery: 5},
+		}, false},
+		{"slice index on gpu fault ignored", []Event{
+			{Time: 1, Kind: GPUFault, Node: 0, GPU: 0, Slice: -1, Recovery: 5},
+		}, true},
+		{"recovery before fault", []Event{
+			{Time: 10, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 10},
+		}, false},
+		{"degraded severity below 1", []Event{
+			{Time: 1, Kind: SliceDegraded, Node: 0, GPU: 0, Slice: 0, Recovery: 5, Severity: 0.5},
+		}, false},
+		{"overlapping same victim", []Event{
+			{Time: 10, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 40},
+			{Time: 30, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 60},
+		}, false},
+		{"sequential same victim", []Event{
+			{Time: 10, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 40},
+			{Time: 40, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 60},
+		}, true},
+		{"overlap different victims ok", []Event{
+			{Time: 10, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 40},
+			{Time: 30, Kind: SliceFault, Node: 0, GPU: 0, Slice: 1, Recovery: 60},
+		}, true},
+		{"overlap different kinds ok", []Event{
+			{Time: 10, Kind: SliceFault, Node: 0, GPU: 0, Slice: 0, Recovery: 40},
+			{Time: 30, Kind: SliceDegraded, Node: 0, GPU: 0, Slice: 0, Recovery: 60, Severity: 2},
+		}, true},
+	}
+	for _, tc := range cases {
+		err := ValidateScript(tc.script, topo)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid script accepted", tc.name)
+		}
+	}
+}
+
+// Build panics (with the validation error) on an invalid script instead
+// of producing undefined platform behaviour.
+func TestBuildRejectsInvalidScript(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build accepted an out-of-range script victim")
+		}
+	}()
+	Build(Spec{Script: []Event{
+		{Time: 1, Kind: SliceFault, Node: 9, GPU: 0, Slice: 0, Recovery: 5},
+	}}, 1, 300, testTopo())
+}
+
 func TestScriptPassthrough(t *testing.T) {
 	script := []Event{
 		{Time: 50, Kind: GPUFault, Node: 1, GPU: 0, Slice: -1, Recovery: 120},

@@ -38,6 +38,12 @@ type Slice struct {
 	// unhealthy marks a faulted slice (e.g. an uncorrectable ECC error
 	// in its memory partition): it cannot be allocated until repaired.
 	unhealthy bool
+
+	// quarantined marks a slice the platform's health scorer pulled
+	// from placement: the hardware still runs (unlike unhealthy), but
+	// its observed timing diverged from its declared profile far enough
+	// that scheduling onto it would burn SLOs. Cleared on probation.
+	quarantined bool
 }
 
 // bumpGen invalidates cached free-slice views of the owning GPU.
@@ -67,10 +73,23 @@ func (s *Slice) SetHealthy(h bool) {
 	s.bumpGen()
 }
 
-// Usable reports whether the slice and its GPU are both healthy and the
-// GPU is not mid-reconfiguration.
+// Quarantined reports whether the health scorer has pulled the slice
+// from placement.
+func (s *Slice) Quarantined() bool { return s.quarantined }
+
+// SetQuarantined pulls the slice from placement (true) or returns it on
+// probation (false). Like health flips, it bumps the free-set
+// generation so cached placement views and planner free-slice
+// signatures invalidate.
+func (s *Slice) SetQuarantined(q bool) {
+	s.quarantined = q
+	s.bumpGen()
+}
+
+// Usable reports whether the slice and its GPU are both healthy, the
+// slice is not quarantined, and the GPU is not mid-reconfiguration.
 func (s *Slice) Usable(now float64) bool {
-	return !s.unhealthy && s.GPU.Healthy() && s.GPU.Available(now)
+	return !s.unhealthy && !s.quarantined && s.GPU.Healthy() && s.GPU.Available(now)
 }
 
 // Allocate assigns the slice to owner at time now. Allocating a held
@@ -271,7 +290,7 @@ func (g *GPU) FreeSlices(now float64) []*Slice {
 	}
 	var out []*Slice
 	for _, s := range g.Slices {
-		if s.Free() && s.Healthy() {
+		if s.Free() && s.Healthy() && !s.quarantined {
 			out = append(out, s)
 		}
 	}

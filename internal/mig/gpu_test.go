@@ -227,3 +227,42 @@ func TestEnumerationGolden(t *testing.T) {
 		t.Errorf("maximal configs = %d, want 12", nMax)
 	}
 }
+
+// TestSliceQuarantine: a quarantined slice leaves every placement view
+// (FreeSlices, Usable) without being marked unhealthy, each flip bumps
+// the free-set generation so cached views invalidate, and lifting the
+// quarantine restores it.
+func TestSliceQuarantine(t *testing.T) {
+	g := NewGPU(0, 0, DefaultConfig)
+	s := g.Slices[0]
+	if s.Quarantined() {
+		t.Fatal("fresh slice quarantined")
+	}
+	gen := g.Gen()
+	s.SetQuarantined(true)
+	if g.Gen() == gen {
+		t.Error("quarantine did not bump the free-set generation")
+	}
+	if !s.Healthy() {
+		t.Error("quarantine must not mark the slice unhealthy")
+	}
+	if s.Usable(0) {
+		t.Error("quarantined slice reports usable")
+	}
+	for _, f := range g.FreeSlices(0) {
+		if f == s {
+			t.Fatal("quarantined slice still in FreeSlices")
+		}
+	}
+	if got := len(g.FreeSlices(0)); got != 2 {
+		t.Errorf("free slices with one quarantined = %d, want 2", got)
+	}
+	gen = g.Gen()
+	s.SetQuarantined(false)
+	if g.Gen() == gen {
+		t.Error("probation did not bump the free-set generation")
+	}
+	if !s.Usable(0) || len(g.FreeSlices(0)) != 3 {
+		t.Error("slice did not return to placement after probation")
+	}
+}

@@ -55,6 +55,13 @@ type Config struct {
 // Enabled reports whether any overload-control feature is on.
 func (c Config) Enabled() bool { return c.Admission || c.FairQueue || c.Brownout }
 
+// HedgingAllowed reports whether hedged retries may launch at ladder
+// level l. Hedging spends duplicate work to buy tail latency, which is
+// exactly wrong once the ladder passes the conserve rung — above it the
+// cluster needs every slice-second for primary work, so hedging shuts
+// off before shedding or contraction start.
+func (c Config) HedgingAllowed(l Level) bool { return l <= LevelConserve }
+
 // Defaulted fills unset tuning knobs.
 func (c Config) Defaulted() Config {
 	if c.AdmissionSlack <= 0 {

@@ -107,3 +107,18 @@ func TestLevelString(t *testing.T) {
 		}
 	}
 }
+
+// TestHedgingAllowed: hedged retries are permitted through Conserve and
+// cut off at Degrade and Shed, regardless of tuning.
+func TestHedgingAllowed(t *testing.T) {
+	c := Config{}.Defaulted()
+	want := map[Level]bool{
+		LevelNormal: true, LevelConserve: true,
+		LevelDegrade: false, LevelShed: false,
+	}
+	for lvl, ok := range want {
+		if got := c.HedgingAllowed(lvl); got != ok {
+			t.Errorf("HedgingAllowed(%s) = %v, want %v", lvl, got, ok)
+		}
+	}
+}

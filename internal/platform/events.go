@@ -60,6 +60,23 @@ const (
 	// pressure, or an idle model was swapped out of GPU memory to
 	// relieve a brownout (swap tier).
 	EvSwapOut
+	// EvDegrade: a slice entered gray degradation — it keeps serving,
+	// but exec/load/transfer times stretch by the event's severity.
+	EvDegrade
+	// EvSliceSuspect: a slice's health score (EWMA of
+	// observed-vs-declared exec ratio) crossed the suspect threshold,
+	// or a quarantined slice was readmitted on probation.
+	EvSliceSuspect
+	// EvSliceQuarantine: a suspect slice's health score crossed the
+	// quarantine threshold; it was pulled from placement and its owner
+	// torn down.
+	EvSliceQuarantine
+	// EvHedge: a request at deadline risk on a suspect slice launched a
+	// duplicate on healthy hardware (first completion wins).
+	EvHedge
+	// EvHedgeCancel: the losing copy of a hedged request was cancelled
+	// (or finished unrecorded; its work counts as hedge waste).
+	EvHedgeCancel
 )
 
 // String names the event kind.
@@ -103,6 +120,16 @@ func (k EventKind) String() string {
 		return "swap-in"
 	case EvSwapOut:
 		return "swap-out"
+	case EvDegrade:
+		return "degrade"
+	case EvSliceSuspect:
+		return "slice-suspect"
+	case EvSliceQuarantine:
+		return "slice-quarantine"
+	case EvHedge:
+		return "hedge"
+	case EvHedgeCancel:
+		return "hedge-cancel"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -130,6 +157,9 @@ var eventKindNames = map[string]EventKind{
 	"retry": EvRetry, "reject": EvReject, "shed": EvShed,
 	"brownout": EvBrownout, "contract": EvContract,
 	"swap-in": EvSwapIn, "swap-out": EvSwapOut,
+	"degrade": EvDegrade, "slice-suspect": EvSliceSuspect,
+	"slice-quarantine": EvSliceQuarantine,
+	"hedge": EvHedge, "hedge-cancel": EvHedgeCancel,
 }
 
 // ParseEventKind resolves an event-kind name ("fault", "retry", ...)

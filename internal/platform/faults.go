@@ -1,7 +1,9 @@
 package platform
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -71,6 +73,27 @@ func (p *Platform) injectFault(ev faults.Event) {
 		for _, sl := range g.Slices {
 			p.failSlice(sl)
 		}
+	case faults.SliceDegraded:
+		// Gray failure: the slice keeps serving, but every execution,
+		// load and transfer on it stretches by the severity factor. No
+		// teardown, no placement change — fail-stop machinery never
+		// notices, which is exactly what makes gray failures hard.
+		sl := p.cl.Nodes[ev.Node].GPUs[ev.GPU].Slices[ev.Slice]
+		if !sl.Healthy() {
+			return
+		}
+		if _, already := p.degraded[sl]; already {
+			return
+		}
+		sev := ev.Severity
+		if sev < 1 {
+			sev = 1
+		}
+		p.degraded[sl] = sev
+		p.faultsInjected++
+		p.logEvent(EvDegrade, sl.ID(), fmt.Sprintf("gray degradation x%.1f", sev))
+		// Nothing freed, nothing to re-place: skip the scale-up kick.
+		return
 	case faults.NodeCrash:
 		node := p.cl.Nodes[ev.Node]
 		if !node.Healthy() {
@@ -133,6 +156,18 @@ func (p *Platform) recoverFault(ev faults.Event) {
 		node.SetHealthy(true)
 		p.recoveries++
 		p.logEvent(EvRecover, fmt.Sprintf("node%d", node.ID), "node recovered")
+	case faults.SliceDegraded:
+		sl := p.cl.Nodes[ev.Node].GPUs[ev.GPU].Slices[ev.Slice]
+		if _, ok := p.degraded[sl]; !ok {
+			return
+		}
+		delete(p.degraded, sl)
+		p.recoveries++
+		p.logEvent(EvRecover, sl.ID(), "gray degradation cleared")
+		// The slice was never out of placement; no capacity appeared.
+		// (The health scorer still has to observe its way back to
+		// healthy — the platform has no oracle for the recovery.)
+		return
 	}
 	// Recovered capacity can absorb pending demand immediately.
 	p.kickScaleUp()
@@ -267,6 +302,27 @@ func (p *Platform) failShared(ss *sharedSlice) {
 // whose attempt budget is spent, is abandoned as a failed drop.
 func (p *Platform) retryAfterFault(rq *request, reason string) {
 	now := p.eng.Now()
+	// Hedge audit: a hedged copy must never ALSO spawn a fault retry —
+	// its partner is already the retry. A settled loser has nothing to
+	// recover (the winner's completion was recorded); a copy that dies
+	// while the race is live is abandoned unless its partner is dead
+	// too, in which case the hedge is void and this copy alone falls
+	// through to the ordinary retry path.
+	if h := rq.hedge; h != nil {
+		if h.winner != nil && h.winner != rq {
+			p.chargeHedgeWaste(rq, "losing copy lost its hardware")
+			return
+		}
+		if h.winner == nil {
+			h.dead++
+			if h.dead < 2 {
+				p.logEvent(EvHedgeCancel, rq.fn.spec.Name,
+					"hedge copy lost its hardware; partner races on")
+				return
+			}
+			rq.hedge = nil
+		}
+	}
 	// Roll the breakdown back to the admission snapshot: the failed
 	// attempt's partial execution is wasted work and must not double-
 	// count against the retry's own execution. The wasted wall-clock
@@ -276,10 +332,7 @@ func (p *Platform) retryAfterFault(rq *request, reason string) {
 	rq.rec.Transfer = rq.snapTransfer
 	rq.attempts++
 	pol := p.opts.Retry
-	backoff := pol.Backoff * math.Pow(2, float64(rq.attempts-1))
-	if backoff > pol.BackoffCap {
-		backoff = pol.BackoffCap
-	}
+	backoff := retryBackoff(pol, rq.id, rq.attempts)
 	horizon := p.runEnd
 	if rq.fn.spec.SLO > 0 {
 		if h := rq.arrival + p.opts.PendingDrop*rq.fn.spec.SLO; h < horizon {
@@ -299,4 +352,31 @@ func (p *Platform) retryAfterFault(rq *request, reason string) {
 	p.logEvent(EvRetry, rq.fn.spec.Name, reason)
 	p.opts.Obs.AsyncMark("retry", "retry", rq.rec.Func, rq.rec.ID, now, reason)
 	p.eng.After(backoff, func() { p.route(rq) })
+}
+
+// retryBackoff is the deterministic backoff before retry attempt number
+// `attempt` (1-based) of request id: the policy's capped exponential,
+// multiplied by a jitter in [0.5, 1.5) derived from the request ID and
+// attempt number. Without jitter, every request a fault strands retries
+// at the exact same instant and the thundering herd re-collides; seeding
+// the jitter from the request identity (FNV-1a, no shared RNG stream)
+// keeps same-seed runs bit-reproducible. The jitter applies after the
+// cap, so the worst case is 1.5x BackoffCap.
+func retryBackoff(pol RetryPolicy, id, attempt int) float64 {
+	b := pol.Backoff * math.Pow(2, float64(attempt-1))
+	if b > pol.BackoffCap {
+		b = pol.BackoffCap
+	}
+	return b * (0.5 + retryJitter(id, attempt))
+}
+
+// retryJitter hashes (id, attempt) to [0, 1).
+func retryJitter(id, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(id))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(attempt))
+	h.Write(buf[:])
+	// Top 53 bits -> uniform dyadic rational in [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
 }

@@ -40,6 +40,13 @@ type Function struct {
 
 	rrNext int // round-robin cursor for the routing ablation
 
+	// served counts completions that went through Platform.complete
+	// (one per hedged pair); hedges counts hedged duplicates launched.
+	// Their ratio is the per-function hedge rate GrayOptions.HedgeBudget
+	// bounds.
+	served int
+	hedges int
+
 	// rejectDemand counts admission rejections since the last scale-up
 	// pass. Rejected requests never reach fn.pending, but they are still
 	// demand — without this, a cold function whose whole first wave

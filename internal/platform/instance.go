@@ -63,6 +63,10 @@ func (inst *Instance) Pipelined() bool { return inst.plan.Pipelined() }
 // matched to plan stages.
 func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipeline.Plan, slices []*mig.Slice, loadTime float64) *Instance {
 	now := p.eng.Now()
+	// A gray-degraded slice stretches the initial weight fetch too; the
+	// pipeline is ready only when its slowest slice is (x1.0 when no
+	// slice is degraded, which is exact).
+	loadTime *= p.degradeLoadFactor(slices)
 	p.instSeq++
 	inst := &Instance{
 		id:      fmt.Sprintf("%s#%d", fn.spec.Name, p.instSeq),
@@ -104,7 +108,10 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 			bs := sim.NewBatchStation(p.eng, inst.id+"/"+sl.ID(),
 				p.opts.MaxBatch, p.opts.BatchWindow,
 				func(n int) sim.Time {
-					return exec * math.Pow(float64(n), p.opts.BatchGamma)
+					// Gray degradation stretches the whole batch (x1.0
+					// exact when the slice is clean).
+					return exec * math.Pow(float64(n), p.opts.BatchGamma) *
+						p.degradeFactor(slice)
 				})
 			bs.OnStart = func(int) {
 				if inst.failed {
@@ -180,6 +187,9 @@ func (inst *Instance) admit(p *Platform, rq *request) {
 	rq.snapshot()
 	inst.tracker.Touch(p.eng.Now())
 	inst.enqueueStage(p, rq, 0)
+	// The request may be at deadline risk on a suspect slice: consider
+	// duplicating it onto healthy hardware (no-op unless hedging is on).
+	p.maybeHedgeInstance(inst, rq)
 }
 
 func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
@@ -196,9 +206,13 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 	sl := inst.slices[si]
 	sp := inst.plan.Stages[si]
 	enqueueAt := p.eng.Now()
+	// exec is what the stage actually took (profile time stretched by
+	// any gray degradation); it stays 0 when the copy was cancelled
+	// before service, so Done can tell the two apart.
+	var exec float64
 	st.Enqueue(&sim.Job{
 		Service: func() sim.Time {
-			if inst.failed {
+			if inst.failed || rq.hedgeCancelled() {
 				return 0
 			}
 			now := p.eng.Now()
@@ -214,7 +228,8 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 				load = wait
 			}
 			rq.rec.Load += load
-			rq.rec.Exec += sp.ExecTime
+			exec = sp.ExecTime * p.degradeFactor(sl)
+			rq.rec.Exec += exec
 			sl.SetActive(true, now)
 			inst.tracker.Begin(now)
 			if r := p.opts.Obs; r != nil {
@@ -229,32 +244,51 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 					r.AsyncSpan("load", "load-wait", rq.rec.Func, rq.rec.ID,
 						enqueueAt, enqueueAt+load, "")
 				}
+				// Declared stays the profile time; a degraded slice's
+				// stretch shows up as span drift.
 				r.StageSpan("exec "+inst.fn.spec.Name, sl.ID(),
 					sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
-					now, now+sp.ExecTime, sp.ExecTime)
+					now, now+exec, sp.ExecTime)
 			}
-			return sp.ExecTime
+			return exec
 		},
 		Done: func() {
 			if inst.failed {
 				return
 			}
 			now := p.eng.Now()
-			sl.SetActive(false, now)
-			inst.tracker.End(now)
+			if exec > 0 {
+				sl.SetActive(false, now)
+				inst.tracker.End(now)
+			}
+			if rq.hedgeCancelled() {
+				// Losing copy of a hedged request: stop its pipeline here;
+				// complete() swallows it (no record, waste counted).
+				inst.outstanding--
+				inst.forget(rq)
+				p.complete(rq)
+				p.onInstanceSlack(inst)
+				return
+			}
 			if si+1 < len(inst.stations) {
-				rq.rec.Transfer += sp.TransferOut
+				tr := sp.TransferOut * p.degradeFactor(sl)
+				rq.rec.Transfer += tr
 				p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
-					rq.rec.Func, rq.rec.ID, si, now, now+sp.TransferOut)
-				p.eng.After(sp.TransferOut, func() {
+					rq.rec.Func, rq.rec.ID, si, now, now+tr)
+				p.eng.After(tr, func() {
 					inst.enqueueStage(p, rq, si+1)
 				})
+				p.observeSliceExec(sl, sp.ExecTime, exec)
 				return
 			}
 			inst.outstanding--
 			inst.forget(rq)
 			p.complete(rq)
 			p.onInstanceSlack(inst)
+			// Health observation last: it may quarantine the slice and
+			// tear this instance down, which must not race the
+			// completion bookkeeping above.
+			p.observeSliceExec(sl, sp.ExecTime, exec)
 		},
 	})
 }
@@ -268,12 +302,23 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 		return
 	}
 	bs := inst.bstations[si]
+	sl := inst.slices[si]
 	sp := inst.plan.Stages[si]
 	bs.Enqueue(func(n int) {
 		if inst.failed {
 			return
 		}
-		dur := sp.ExecTime * math.Pow(float64(n), p.opts.BatchGamma)
+		if rq.hedgeCancelled() {
+			// Losing copy of a hedged request: the batch it rode already
+			// ran, but its own pipeline stops here unrecorded.
+			inst.outstanding--
+			inst.forget(rq)
+			p.complete(rq)
+			p.onInstanceSlack(inst)
+			return
+		}
+		declared := sp.ExecTime * math.Pow(float64(n), p.opts.BatchGamma)
+		dur := declared * p.degradeFactor(sl)
 		rq.rec.Exec += dur
 		if r := p.opts.Obs; r != nil {
 			// The batch callback fires at completion, so the exec span
@@ -286,17 +331,19 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 			// Declared is the unbatched profile time; the batched span is
 			// longer by n^gamma, which is exactly the drift the analytics
 			// layer should surface.
-			r.StageSpan("exec "+inst.fn.spec.Name, inst.slices[si].ID(),
+			r.StageSpan("exec "+inst.fn.spec.Name, sl.ID(),
 				sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
 				now-dur, now, sp.ExecTime)
 		}
 		if si+1 < len(inst.bstations) {
-			rq.rec.Transfer += sp.TransferOut
-			p.opts.Obs.SliceSpan("transfer", "transfer", inst.slices[si].ID(),
-				rq.rec.Func, rq.rec.ID, si, p.eng.Now(), p.eng.Now()+sp.TransferOut)
-			p.eng.After(sp.TransferOut, func() {
+			tr := sp.TransferOut * p.degradeFactor(sl)
+			rq.rec.Transfer += tr
+			p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
+				rq.rec.Func, rq.rec.ID, si, p.eng.Now(), p.eng.Now()+tr)
+			p.eng.After(tr, func() {
 				inst.enqueueStageBatched(p, rq, si+1)
 			})
+			p.observeSliceExec(sl, declared, dur)
 			return
 		}
 		inst.outstanding--
@@ -304,6 +351,8 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 		inst.tracker.Touch(p.eng.Now())
 		p.complete(rq)
 		p.onInstanceSlack(inst)
+		// Health observation last (may quarantine and tear down).
+		p.observeSliceExec(sl, declared, dur)
 	})
 }
 
@@ -346,7 +395,9 @@ func (p *Platform) onInstanceSlack(inst *Instance) {
 		rq := fn.popPending()
 		inst.admit(p, rq)
 	}
-	if inst.retiring && inst.outstanding == 0 {
+	// A fault-failed instance already released its slices in
+	// failInstance; releasing again would double-release and panic.
+	if inst.retiring && !inst.failed && inst.outstanding == 0 {
 		p.releaseInstance(inst)
 	}
 }

@@ -393,7 +393,7 @@ func TestEventLogCapConfigurable(t *testing.T) {
 // TestEventKindNames: every EventKind round-trips through its String
 // form and ParseEventKind.
 func TestEventKindNames(t *testing.T) {
-	for k := EvLaunch; k <= EvContract; k++ {
+	for k := EvLaunch; k <= EvHedgeCancel; k++ {
 		got, err := ParseEventKind(k.String())
 		if err != nil {
 			t.Errorf("ParseEventKind(%q): %v", k.String(), err)

@@ -489,17 +489,38 @@ func (ss *sharedSlice) enqueue(p *Platform, b *tsBinding, rq *request) {
 	ss.kick(p)
 }
 
-// kick starts serving if the slice is idle.
+// kick starts serving if the slice is idle. Cancelled hedge copies are
+// skimmed off the queue head without service (their winner already
+// completed); a gray-degraded slice stretches both the load and the
+// execution by its severity factor.
 func (ss *sharedSlice) kick(p *Platform) {
 	if ss.failed || ss.busy || ss.qlen() == 0 {
 		return
 	}
 	job := ss.pop()
+	var cancelled []*tsJob
+	for job != nil && job.rq.hedgeCancelled() {
+		cancelled = append(cancelled, job)
+		job = ss.pop()
+	}
+	for _, cj := range cancelled {
+		cj.b.outstanding--
+		// complete() settles the loser: no record, waste counted (zero
+		// here — the copy never served).
+		p.complete(cj.rq)
+	}
+	if job == nil {
+		for _, cj := range cancelled {
+			p.onTSSlack(cj.b)
+		}
+		return
+	}
 	ss.busy = true
 	ss.serving = job
 	b := job.b
 	now := p.eng.Now()
 
+	f := p.degradeFactor(ss.slice)
 	load := 0.0
 	if ss.resident != b {
 		// Evict the LRU resident and load the pertinent instance
@@ -507,7 +528,7 @@ func (ss *sharedSlice) kick(p *Platform) {
 		if ss.resident != nil {
 			ss.evictResident(p)
 		}
-		load = b.estLoad()
+		load = b.estLoad() * f
 		if p.swapOn() {
 			b.loadChurn += load
 		}
@@ -522,7 +543,8 @@ func (ss *sharedSlice) kick(p *Platform) {
 			}
 		}
 	}
-	exec := b.execOn()
+	declaredExec := b.execOn()
+	exec := declaredExec * f
 	job.rq.rec.Load += load
 	job.rq.rec.Exec += exec
 	ss.servingWork = load + exec
@@ -537,7 +559,7 @@ func (ss *sharedSlice) kick(p *Platform) {
 		}
 		r.StageSpan("exec "+b.fn.spec.Name, ss.slice.ID(),
 			ss.slice.Type.String(), rq.rec.Func, rq.rec.ID, -1,
-			now+load, now+load+exec, exec)
+			now+load, now+load+exec, declaredExec)
 	}
 	p.eng.After(load+exec, func() {
 		if ss.failed {
@@ -573,9 +595,20 @@ func (ss *sharedSlice) kick(p *Platform) {
 		b.outstanding--
 		ss.busy = false
 		p.complete(job.rq)
+		// Health observation may quarantine this slice and tear it down
+		// (failShared); the kick below then no-ops on ss.failed.
+		p.observeSliceExec(ss.slice, declaredExec, exec)
 		ss.kick(p)
 		p.onTSSlack(b)
 	})
+	// The serving job may be at deadline risk on a suspect slice:
+	// consider duplicating it onto healthy hardware (no-op unless
+	// hedging is on). After the service registration so the clone's
+	// routing cannot interleave with this slice's bookkeeping.
+	p.maybeHedgeTS(ss, job.rq, now+load+exec)
+	for _, cj := range cancelled {
+		p.onTSSlack(cj.b)
+	}
 }
 
 // evictResident moves the current resident out of MIG memory to the
@@ -656,6 +689,13 @@ func (inv *Invoker) releaseShared(ss *sharedSlice) {
 // into them.
 func (ss *sharedSlice) dropStale(p *Platform, now float64) []*tsBinding {
 	stale := func(job *tsJob) bool {
+		// A live hedge copy is never stale-dropped: its partner may be
+		// about to win, and the settle logic (not a drop record) decides
+		// the request's one outcome. Settled losers are dropped silently
+		// below.
+		if job.rq.hedge != nil && job.rq.hedge.winner == nil {
+			return false
+		}
 		slo := job.rq.fn.spec.SLO
 		return slo > 0 && now-job.rq.arrival > p.opts.PendingDrop*slo
 	}
@@ -677,10 +717,16 @@ func (ss *sharedSlice) dropStale(p *Platform, now float64) []*tsBinding {
 	for _, j := range dropped {
 		ss.queuedWork -= j.service
 		j.b.outstanding--
-		j.rq.rec.Dropped = true
-		j.rq.rec.Completion = now
-		p.logEvent(EvDrop, j.rq.fn.spec.Name, "time-sharing queue past the client timeout")
-		p.record(j.rq.rec)
+		if j.rq.hedgeCancelled() {
+			// Settled hedge loser: its winner was already recorded; the
+			// queued copy just disappears (complete() swallows it).
+			p.complete(j.rq)
+		} else {
+			j.rq.rec.Dropped = true
+			j.rq.rec.Completion = now
+			p.logEvent(EvDrop, j.rq.fn.spec.Name, "time-sharing queue past the client timeout")
+			p.record(j.rq.rec)
+		}
 		seen := false
 		for _, b := range freed {
 			if b == j.b {

@@ -102,6 +102,13 @@ type Options struct {
 	// relief. The zero value keeps the legacy anonymous warm accounting,
 	// leaving runs bit-for-bit identical.
 	Swap SwapOptions
+	// Gray enables the gray-failure resilience subsystem (gray.go,
+	// hedge.go): per-slice health scoring over observed-vs-declared
+	// execution ratios, quarantine of slices whose timing diverges, and
+	// (with Gray.Hedge) hedged retries for deadline-at-risk requests on
+	// suspect slices. The zero value turns it all off, leaving runs
+	// bit-for-bit identical.
+	Gray GrayOptions
 	// Obs, when set, records per-request traces (typed spans on one
 	// track per MIG slice), lifecycle instants, and exportable metrics
 	// (latency histograms, per-slice busy counters). The recorder is a
@@ -171,6 +178,7 @@ func (o *Options) fillDefaults() {
 		o.Retry.BackoffCap = 1
 	}
 	o.Swap.fillDefaults()
+	o.Gray.fillDefaults()
 }
 
 // RetryPolicy bounds fault-triggered request retries. A request whose
@@ -226,6 +234,10 @@ type request struct {
 	snapExec     float64
 	snapLoad     float64
 	snapTransfer float64
+
+	// hedge links the two copies of a hedged request (hedge.go); nil
+	// for ordinary requests.
+	hedge *hedgeState
 }
 
 // snapshot records the breakdown at admission for fault rollback.
@@ -256,6 +268,9 @@ type Platform struct {
 	// nodes (the swap tier's pressure signal; sampled regardless of
 	// whether the tier is enabled).
 	HostPoolOcc metrics.Timeline
+	// HealthScores samples each scored slice's health score over time,
+	// keyed by slice ID (only populated while Options.Gray is enabled).
+	HealthScores map[string]*metrics.Timeline
 
 	events *obs.Bus[Event]
 
@@ -283,6 +298,19 @@ type Platform struct {
 	swapOuts      int  // host-pool copies evicted under pressure
 	swapReliefs   int  // brownout sheds converted to swap demotions
 	reliefPending bool // a swap-relief drain is in flight
+
+	// Gray-failure resilience state (gray.go, hedge.go; all inert when
+	// opts.Gray is zero except degraded, which degraded-slice fault
+	// events populate regardless — the slowdown is physics, the scorer
+	// is the optional response).
+	degraded       map[*mig.Slice]float64      // active severity per degraded slice
+	health         map[*mig.Slice]*sliceHealth // scorer state per observed slice
+	suspects       int                         // healthy->suspect transitions
+	quarantines    int                         // slices quarantined
+	hedges         int                         // hedged duplicates launched
+	hedgeWins      int                         // hedges whose clone won the race
+	hedgeCancels   int                         // losing copies cancelled/swallowed
+	hedgeWastedSec float64                     // exec+load seconds losers burned
 	// runEnd bounds retry backoffs: a retry that cannot land before the
 	// run ends is pointless (the request would never be recorded).
 	runEnd float64
@@ -301,7 +329,10 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		fnByName: make(map[string]*Function),
 		col:      metrics.NewCollector(),
 		runEnd:   math.Inf(1),
+		degraded: make(map[*mig.Slice]float64),
+		health:   make(map[*mig.Slice]*sliceHealth),
 	}
+	p.HealthScores = make(map[string]*metrics.Timeline)
 	p.opts.Overload = p.opts.Overload.Defaulted()
 	p.ladder = overload.NewLadder(p.opts.Overload)
 	if p.opts.EventLogCap <= 0 {
@@ -463,6 +494,12 @@ func (p *Platform) InjectRequest(fn, id int) {
 // end-to-end latency after execution, transfers and loads — it covers
 // both pending time at the load balancer and waiting at stage queues.
 func (p *Platform) complete(rq *request) {
+	if rq.hedge != nil && p.settleHedge(rq) {
+		// Losing copy of a hedged request: its partner's completion was
+		// already recorded; this one only left wasted work behind.
+		return
+	}
+	rq.fn.served++
 	rq.rec.Completion = p.eng.Now()
 	q := (rq.rec.Completion - rq.rec.Arrival) - rq.rec.Exec - rq.rec.Transfer - rq.rec.Load
 	if q < 0 {
@@ -518,6 +555,9 @@ func (p *Platform) sampleUtilization() {
 	p.UtilGPUs.Add(now, float64(active)/float64(len(gpus)))
 	p.Fragmentation.Add(now, mig.FragmentationIndex(gpus, now))
 	p.HostPoolOcc.Add(now, p.poolOccupancy())
+	if p.grayOn() {
+		p.sampleHealth(now)
+	}
 	if p.opts.OnSample != nil {
 		p.opts.OnSample(now, p.cl)
 	}
