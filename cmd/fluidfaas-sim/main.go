@@ -15,6 +15,7 @@ import (
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
 	"fluidfaas/internal/obs/analytics"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
 )
@@ -29,7 +30,9 @@ func main() {
 	eventsKind := flag.String("events-kind", "", "only print lifecycle events of these kinds (comma-separated, e.g. fault,retry); collected losslessly off the event bus")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto / chrome://tracing)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-exposition metrics to this file")
-	serve := flag.String("serve", "", "after the run, serve live introspection on this address (e.g. 127.0.0.1:8080): /metrics, /analytics, /state, /debug/pprof; blocks until killed")
+	serve := flag.String("serve", "", "after the run, serve live introspection on this address (e.g. 127.0.0.1:8080): /metrics, /analytics, /state, /decisions, /why, /debug/pprof; blocks until killed")
+	decisionsOut := flag.String("decisions-out", "", "record decision provenance and write the full export (records, counts, anomaly dumps) to this JSON file")
+	engineStats := flag.Bool("engine-stats", false, "print the sim engine's self-telemetry (events, rate, heap depth) after the run")
 	flag.Parse()
 
 	var pol scheduler.Policy
@@ -81,6 +84,12 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" || *serve != "" {
 		cfg.Obs = obs.NewRecorder()
 	}
+	// Decision provenance: recorded when an export file or the server is
+	// requested; otherwise the nil recorder keeps the run bit-identical
+	// to an uninstrumented one.
+	if *decisionsOut != "" || *serve != "" {
+		cfg.Decisions = decisions.NewRecorder(0)
+	}
 	var snap platform.Snapshot
 	if *serve != "" {
 		cfg.OnPlatform = func(p *platform.Platform) { snap = p.Snapshot() }
@@ -122,6 +131,11 @@ func main() {
 	fmt.Printf("mean util      %.1f%% of GPCs\n", r.UtilGPCs.Mean()*100)
 	fmt.Printf("instances      %d launched, %d evictions, %d migrations\n",
 		r.Launched, r.Evictions, r.Migrations)
+	if *engineStats {
+		fmt.Printf("engine         %d events (%d scheduled, %d cancelled), peak heap %d, %.0f events/s\n",
+			r.Engine.Executed, r.Engine.Scheduled, r.Engine.Cancellations,
+			r.Engine.PeakHeapDepth, r.Engine.EventsPerSec)
+	}
 	if *events > 0 || *eventsKind != "" {
 		evs := r.Events
 		label := "recent lifecycle events"
@@ -138,26 +152,26 @@ func main() {
 		}
 	}
 
+	writeExport := func(path string, write func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
 	if rec := cfg.Obs; rec != nil {
 		rec.SetGauge("fluidfaas_events_dropped", float64(r.EventsDropped))
 		rec.SetGauge("fluidfaas_events_published_total", float64(r.EventsTotal))
-		writeExport := func(path string, write func(*os.File) error) {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := write(f); err != nil {
-				f.Close()
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-		}
 		if *traceOut != "" {
 			writeExport(*traceOut, func(f *os.File) error { return obs.WriteChromeTrace(f, rec) })
 		}
@@ -166,16 +180,39 @@ func main() {
 		}
 	}
 
+	// An SLO burn-rate page is an anomaly: freeze the decision ring so
+	// the export carries a full dump of what the scheduler was deciding
+	// when the budget burned. Deterministic — the page count and freeze
+	// time derive only from the simulated run.
+	var report *analytics.Report
+	if cfg.Obs != nil {
+		report = analytics.Analyze(analytics.Config{}, cfg.Obs)
+	}
+	if dr := cfg.Decisions; dr != nil {
+		if report != nil {
+			pages := 0
+			for _, b := range report.Burn {
+				pages += b.Pages
+			}
+			if pages > 0 {
+				dr.Freeze(cfg.Duration, fmt.Sprintf("slo-burn: %d pages", pages))
+			}
+		}
+		if *decisionsOut != "" {
+			writeExport(*decisionsOut, func(f *os.File) error { return dr.WriteJSON(f) })
+		}
+	}
+
 	// Live introspection: analyse the finished run and serve it. The
 	// recorder is no longer written to, so serving is race-free; the
 	// listener comes up before the address is announced so scripts can
 	// curl as soon as they see the line.
 	if *serve != "" {
-		rec := cfg.Obs
 		h := analytics.Handler(analytics.ServerOptions{
-			Recorder: rec,
-			Report:   analytics.Analyze(analytics.Config{}, rec),
-			State:    snap,
+			Recorder:  cfg.Obs,
+			Report:    report,
+			State:     snap,
+			Decisions: cfg.Decisions,
 		})
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"fluidfaas/internal/obs/analytics"
+	"fluidfaas/internal/sim"
 )
 
 // Machine-readable bench output: the end-to-end matrix plus the span-
@@ -35,6 +36,11 @@ type BenchDoc struct {
 	// across mitigation levels, off-switch identity), present when
 	// -exp gray ran.
 	Gray *GrayResult `json:"gray,omitempty"`
+	// Engine aggregates the sim engines' self-telemetry across every run
+	// in the document: events executed, wall-clock processing rate, the
+	// deepest event heap seen, and cancellations. The wall-clock fields
+	// are the document's only nondeterministic values.
+	Engine *sim.Stats `json:"engine,omitempty"`
 }
 
 // BenchRun flattens one SystemResult to its reportable scalars.
@@ -85,10 +91,25 @@ func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report
 		Swap:       sw,
 		Gray:       gr,
 	}
+	var agg sim.Stats
 	for _, wl := range Workloads {
 		for _, sys := range systemsOrder() {
-			doc.Runs = append(doc.Runs, benchRun(e2e.Results[wl][sys]))
+			r := e2e.Results[wl][sys]
+			doc.Runs = append(doc.Runs, benchRun(r))
+			agg.Executed += r.Engine.Executed
+			agg.Scheduled += r.Engine.Scheduled
+			agg.Cancellations += r.Engine.Cancellations
+			if r.Engine.PeakHeapDepth > agg.PeakHeapDepth {
+				agg.PeakHeapDepth = r.Engine.PeakHeapDepth
+			}
+			agg.WallSeconds += r.Engine.WallSeconds
 		}
+	}
+	if agg.WallSeconds > 0 {
+		agg.EventsPerSec = float64(agg.Executed) / agg.WallSeconds
+	}
+	if agg.Executed > 0 {
+		doc.Engine = &agg
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

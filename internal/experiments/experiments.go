@@ -14,9 +14,11 @@ import (
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
+	"fluidfaas/internal/sim"
 	"fluidfaas/internal/trace"
 )
 
@@ -127,6 +129,11 @@ type Config struct {
 	// zero-cost default). The recorder fills with request traces, slice
 	// spans and metrics for the Chrome-trace / Prometheus exporters.
 	Obs *obs.Recorder
+	// Decisions attaches a decision-provenance recorder (nil = off, the
+	// zero-cost default): every scheduling choice point logs the inputs
+	// it saw and the outcome it chose, queryable per request after the
+	// run ("why did request N end up there?").
+	Decisions *decisions.Recorder
 	// OnEvent subscribes to the platform's lifecycle event bus before
 	// the run starts, seeing every event losslessly (the retained ring
 	// in SystemResult.Events is bounded). Subscribers must only observe.
@@ -291,6 +298,13 @@ type SystemResult struct {
 	Events        []platform.Event
 	EventsTotal   int
 	EventsDropped int
+
+	// Engine is the sim engine's self-telemetry: events processed,
+	// wall-clock processing rate, peak heap depth, cancellations. The
+	// wall-clock fields are the only nondeterministic values in the
+	// result; they surface in BENCH json but never in decision records
+	// or determinism-diffed exports.
+	Engine sim.Stats
 }
 
 // RunSystem executes one (policy, workload) experiment.
@@ -310,7 +324,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
 		Faults: cfg.Faults, Overload: cfg.Overload, Swap: cfg.Swap, Gray: cfg.Gray,
-		Obs: cfg.Obs, EventLogCap: cfg.EventLogCap,
+		Obs: cfg.Obs, Decisions: cfg.Decisions, EventLogCap: cfg.EventLogCap,
 		DisablePlanCache: cfg.DisablePlanCache,
 	})
 	if cfg.OnEvent != nil {
@@ -359,6 +373,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		Events:        p.Events(),
 		EventsTotal:   p.TotalEvents(),
 		EventsDropped: p.DroppedEvents(),
+		Engine:        p.Engine().Stats(),
 	}
 	for f, ls := range col.LatenciesByFunc() {
 		res.CDFByApp[f] = metrics.CDF(ls, 20)

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"fluidfaas/internal/obs"
+	"fluidfaas/internal/obs/decisions"
 )
 
 // Live introspection: an opt-in HTTP handler that exposes a finished
@@ -14,6 +16,8 @@ import (
 //	/metrics      — Prometheus text exposition (scrape-compatible)
 //	/analytics    — the full analytics Report as JSON
 //	/state        — a driver-supplied platform snapshot as JSON
+//	/decisions    — decision-provenance stream (filterable, JSON)
+//	/why?req=<id> — one request's complete decision chain (JSON)
 //	/debug/pprof/ — the standard Go profiler endpoints
 //
 // The handler holds references, not copies: serving after the run is
@@ -32,6 +36,8 @@ type ServerOptions struct {
 	// platform's occupancy snapshot. Kept as an opaque value so this
 	// package does not depend on the platform.
 	State any
+	// Decisions backs /decisions and /why; nil serves empty documents.
+	Decisions *decisions.Recorder
 }
 
 // Handler returns the introspection mux.
@@ -59,6 +65,98 @@ func Handler(o ServerOptions) http.Handler {
 		_ = enc.Encode(o.State)
 	})
 
+	mux.HandleFunc("/decisions", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var (
+			wantKind decisions.Kind
+			byKind   bool
+			wantFunc = q.Get("func")
+			wantReq  int
+			byReq    bool
+			limit    int
+		)
+		if s := q.Get("kind"); s != "" {
+			k, err := decisions.ParseKind(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			wantKind, byKind = k, true
+		}
+		if s := q.Get("req"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad req: "+s, http.StatusBadRequest)
+				return
+			}
+			wantReq, byReq = n, true
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit: "+s, http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !byKind && wantFunc == "" && !byReq && limit == 0 {
+			_ = o.Decisions.WriteJSON(w)
+			return
+		}
+		recs := o.Decisions.Snapshot()
+		kept := recs[:0]
+		for _, rec := range recs {
+			if byKind && rec.Kind != wantKind {
+				continue
+			}
+			if wantFunc != "" && rec.Func != wantFunc {
+				continue
+			}
+			if byReq && rec.Req != wantReq {
+				continue
+			}
+			kept = append(kept, rec)
+		}
+		if limit > 0 && len(kept) > limit {
+			kept = kept[len(kept)-limit:]
+		}
+		doc := struct {
+			Total   int                `json:"total"`
+			Dropped int                `json:"dropped"`
+			Matched int                `json:"matched"`
+			Counts  map[string]int     `json:"counts"`
+			Records []decisions.Record `json:"records"`
+		}{
+			Total:   o.Decisions.Total(),
+			Dropped: o.Decisions.Dropped(),
+			Matched: len(kept),
+			Counts:  o.Decisions.Counts(),
+			Records: kept,
+		}
+		if doc.Counts == nil {
+			doc.Counts = map[string]int{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(doc)
+	})
+
+	mux.HandleFunc("/why", func(w http.ResponseWriter, r *http.Request) {
+		s := r.URL.Query().Get("req")
+		if s == "" {
+			http.Error(w, "missing req parameter: /why?req=<id>", http.StatusBadRequest)
+			return
+		}
+		req, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad req: "+s, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Decisions.WriteChainJSON(w, req)
+	})
+
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -75,6 +173,8 @@ func Handler(o ServerOptions) http.Handler {
 			"/metrics      Prometheus text exposition\n" +
 			"/analytics    blame / drift / burn report (JSON)\n" +
 			"/state        platform snapshot (JSON)\n" +
+			"/decisions    decision provenance, filters: kind, func, req, limit (JSON)\n" +
+			"/why?req=<id> one request's decision chain (JSON)\n" +
 			"/debug/pprof  Go profiler\n"))
 	})
 

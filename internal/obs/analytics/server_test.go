@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"fluidfaas/internal/obs/decisions"
 )
 
 // get fetches a path from the handler and returns status and body.
@@ -84,5 +86,84 @@ func TestServerEmpty(t *testing.T) {
 	}
 	if code, body := get(t, srv, "/state"); code != 200 || strings.TrimSpace(body) != "null" {
 		t.Errorf("/state: code %d body %q", code, body)
+	}
+}
+
+// TestServerDecisions: /decisions serves the full provenance export,
+// honours kind/func/req/limit filters (rejecting malformed ones), and
+// /why returns one request's ordered chain.
+func TestServerDecisions(t *testing.T) {
+	dr := decisions.NewRecorder(0)
+	dr.Record(decisions.Record{Kind: decisions.KindAdmit, Req: 7, Func: "bert", Outcome: "admitted"})
+	dr.Record(decisions.Record{Kind: decisions.KindHedgeSpawn, Req: 7, Func: "bert", Outcome: "duplicated"})
+	dr.Record(decisions.Record{Kind: decisions.KindReject, Req: 9, Func: "gpt2", Outcome: "shed"})
+	srv := httptest.NewServer(Handler(ServerOptions{Decisions: dr}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/decisions")
+	var exp decisions.Export
+	if code != 200 || json.Unmarshal([]byte(body), &exp) != nil {
+		t.Fatalf("/decisions: code %d body %q", code, body)
+	}
+	if exp.Total != 3 || len(exp.Records) != 3 {
+		t.Errorf("/decisions: total %d records %d, want 3/3", exp.Total, len(exp.Records))
+	}
+
+	var filtered struct {
+		Matched int                `json:"matched"`
+		Records []decisions.Record `json:"records"`
+	}
+	code, body = get(t, srv, "/decisions?kind=admit")
+	if code != 200 || json.Unmarshal([]byte(body), &filtered) != nil {
+		t.Fatalf("/decisions?kind=admit: code %d body %q", code, body)
+	}
+	if filtered.Matched != 1 || filtered.Records[0].Kind != decisions.KindAdmit {
+		t.Errorf("kind filter: matched %d", filtered.Matched)
+	}
+	code, body = get(t, srv, "/decisions?func=bert&limit=1")
+	if code != 200 || json.Unmarshal([]byte(body), &filtered) != nil {
+		t.Fatalf("/decisions?func=bert&limit=1: code %d body %q", code, body)
+	}
+	if filtered.Matched != 1 || filtered.Records[0].Kind != decisions.KindHedgeSpawn {
+		t.Errorf("func+limit filter: matched %d, want newest bert record", filtered.Matched)
+	}
+	code, body = get(t, srv, "/decisions?req=9")
+	if code != 200 || json.Unmarshal([]byte(body), &filtered) != nil ||
+		filtered.Matched != 1 || filtered.Records[0].Req != 9 {
+		t.Errorf("req filter: code %d body %q", code, body)
+	}
+	if code, _ = get(t, srv, "/decisions?kind=bogus"); code != 400 {
+		t.Errorf("bad kind: code %d, want 400", code)
+	}
+	if code, _ = get(t, srv, "/decisions?limit=-1"); code != 400 {
+		t.Errorf("bad limit: code %d, want 400", code)
+	}
+
+	code, body = get(t, srv, "/why?req=7")
+	var chain decisions.ChainExport
+	if code != 200 || json.Unmarshal([]byte(body), &chain) != nil {
+		t.Fatalf("/why: code %d body %q", code, body)
+	}
+	if chain.Req != 7 || len(chain.Chain) != 2 ||
+		chain.Chain[0].Kind != decisions.KindAdmit || chain.Chain[1].Kind != decisions.KindHedgeSpawn {
+		t.Errorf("/why chain: %+v", chain)
+	}
+	if code, _ = get(t, srv, "/why"); code != 400 {
+		t.Errorf("/why without req: code %d, want 400", code)
+	}
+	if code, _ = get(t, srv, "/why?req=x"); code != 400 {
+		t.Errorf("/why bad req: code %d, want 400", code)
+	}
+
+	// Nil recorder: both endpoints still serve valid empty documents.
+	empty := httptest.NewServer(Handler(ServerOptions{}))
+	defer empty.Close()
+	code, body = get(t, empty, "/decisions")
+	if code != 200 || json.Unmarshal([]byte(body), &exp) != nil || exp.Total != 0 {
+		t.Errorf("nil /decisions: code %d body %q", code, body)
+	}
+	code, body = get(t, empty, "/why?req=1")
+	if code != 200 || json.Unmarshal([]byte(body), &chain) != nil || len(chain.Chain) != 0 {
+		t.Errorf("nil /why: code %d body %q", code, body)
 	}
 }

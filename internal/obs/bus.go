@@ -1,5 +1,7 @@
 package obs
 
+import "sync"
+
 // Bus is a streaming fan-out of values with a bounded ring as the
 // default sink. Subscribers see every published value synchronously and
 // losslessly, in publish order; the ring retains only the newest
@@ -7,12 +9,18 @@ package obs
 // overwrote instead of dropping silently. The zero value is unusable;
 // build buses with NewBus.
 //
-// The bus is deliberately synchronous and single-goroutine (the
-// simulation engine runs everything on one goroutine): Publish calls
-// each subscriber inline, so subscribing observers cannot reorder or
-// lose events, and determinism is preserved as long as subscribers only
-// observe.
+// The bus is deliberately synchronous (the simulation engine runs
+// everything on one goroutine): Publish calls each subscriber inline, so
+// subscribing observers cannot reorder or lose events, and determinism
+// is preserved as long as subscribers only observe. Ring and
+// subscription state are additionally mutex-guarded so a live reader on
+// another goroutine — the introspection server's /decisions endpoint,
+// or a concurrent test — can Snapshot/Subscribe safely while the
+// simulation publishes. Subscribers run outside the lock; under
+// concurrent publishers their delivery order is the lock-acquisition
+// order of the ring update.
 type Bus[T any] struct {
+	mu       sync.Mutex
 	capacity int
 	buf      []T
 	next     int
@@ -40,18 +48,28 @@ func (b *Bus[T]) Capacity() int { return b.capacity }
 // published after this point. The returned cancel function removes the
 // subscription (idempotent).
 func (b *Bus[T]) Subscribe(fn func(T)) (cancel func()) {
+	b.mu.Lock()
 	b.subs = append(b.subs, fn)
 	idx := len(b.subs) - 1
+	b.mu.Unlock()
 	return func() {
+		b.mu.Lock()
+		// Copy-on-write: an in-flight Publish may still be walking the
+		// old slice outside the lock, so never nil a slot in place.
 		if idx >= 0 && idx < len(b.subs) && b.subs[idx] != nil {
-			b.subs[idx] = nil
+			subs := make([]func(T), len(b.subs))
+			copy(subs, b.subs)
+			subs[idx] = nil
+			b.subs = subs
 		}
+		b.mu.Unlock()
 	}
 }
 
 // Publish appends v to the ring (overwriting the oldest value when
 // full) and delivers it to every live subscriber in subscription order.
 func (b *Bus[T]) Publish(v T) {
+	b.mu.Lock()
 	if b.buf == nil {
 		b.buf = make([]T, 0, b.capacity)
 	}
@@ -62,7 +80,9 @@ func (b *Bus[T]) Publish(v T) {
 	}
 	b.next = (b.next + 1) % b.capacity
 	b.total++
-	for _, fn := range b.subs {
+	subs := b.subs
+	b.mu.Unlock()
+	for _, fn := range subs {
 		if fn != nil {
 			fn(v)
 		}
@@ -70,17 +90,31 @@ func (b *Bus[T]) Publish(v T) {
 }
 
 // Total returns how many values were ever published.
-func (b *Bus[T]) Total() int { return b.total }
+func (b *Bus[T]) Total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
 
 // Retained returns how many values the ring currently holds.
-func (b *Bus[T]) Retained() int { return len(b.buf) }
+func (b *Bus[T]) Retained() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
 
 // Dropped returns how many published values the ring has overwritten —
 // the loss a Snapshot consumer sees (subscribers see everything).
-func (b *Bus[T]) Dropped() int { return b.total - len(b.buf) }
+func (b *Bus[T]) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - len(b.buf)
+}
 
 // Snapshot returns the retained values oldest-first.
 func (b *Bus[T]) Snapshot() []T {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(b.buf) < b.capacity {
 		out := make([]T, len(b.buf))
 		copy(out, b.buf)

@@ -1,6 +1,10 @@
 package obs
 
-import "testing"
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 // TestBusRingWraparound: the ring retains only the newest Capacity
 // values, snapshots come out oldest-first, and the dropped counter
@@ -106,5 +110,83 @@ func TestBusDefaultCapacity(t *testing.T) {
 	}
 	if got := NewBus[int](-5).Capacity(); got != DefaultBusCapacity {
 		t.Errorf("Capacity = %d, want %d", got, DefaultBusCapacity)
+	}
+}
+
+// TestBusSubscriberChurnDropAccounting: a subscriber joining after the
+// ring has already wrapped still observes a consistent world — the
+// drop counter at join time plus everything it then receives equals
+// the bus total.
+func TestBusSubscriberChurnDropAccounting(t *testing.T) {
+	b := NewBus[int](4)
+	for i := 0; i < 11; i++ {
+		b.Publish(i)
+	}
+	droppedAtJoin, retainedAtJoin := b.Dropped(), b.Retained()
+	if droppedAtJoin != 7 {
+		t.Fatalf("Dropped before join = %d, want 7", droppedAtJoin)
+	}
+	var seen []int
+	cancel := b.Subscribe(func(v int) { seen = append(seen, v) })
+	for i := 11; i < 25; i++ {
+		b.Publish(i)
+	}
+	cancel()
+	b.Publish(25) // after cancel: not seen, still counted by the ring
+	// Everything published before the join was either dropped or still
+	// retained; everything while subscribed was seen; one publish came
+	// after the cancel. Those partitions must tile the bus total.
+	if len(seen) != 14 ||
+		droppedAtJoin+retainedAtJoin+len(seen)+1 != b.Total() {
+		t.Errorf("churn accounting: seen %d, droppedAtJoin %d, retainedAtJoin %d, total %d",
+			len(seen), droppedAtJoin, retainedAtJoin, b.Total())
+	}
+	for i, v := range seen {
+		if v != 11+i {
+			t.Fatalf("mid-run subscriber order wrong: %v", seen)
+		}
+	}
+}
+
+// TestBusConcurrentPublishSubscribe: ring wraparound under concurrent
+// publishers with subscribers joining and cancelling mid-stream must be
+// race-clean (run under -race) and must not lose counts: Total equals
+// the number of publishes and Dropped+Retained equals Total.
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	const (
+		publishers = 4
+		perPub     = 500
+	)
+	b := NewBus[int](16)
+	var wg sync.WaitGroup
+	var received atomic.Int64
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				if i%50 == 0 {
+					cancel := b.Subscribe(func(int) { received.Add(1) })
+					b.Publish(p*perPub + i)
+					cancel()
+					continue
+				}
+				b.Publish(p*perPub + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if b.Total() != publishers*perPub {
+		t.Errorf("Total = %d, want %d", b.Total(), publishers*perPub)
+	}
+	if b.Dropped()+b.Retained() != b.Total() {
+		t.Errorf("Dropped %d + Retained %d != Total %d",
+			b.Dropped(), b.Retained(), b.Total())
+	}
+	if got := len(b.Snapshot()); got != 16 {
+		t.Errorf("snapshot len = %d, want 16", got)
+	}
+	if received.Load() == 0 {
+		t.Error("transient subscribers received nothing")
 	}
 }

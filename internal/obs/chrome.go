@@ -124,6 +124,18 @@ func WriteChromeTrace(w io.Writer, r *Recorder) error {
 				Pid: requestsPid, Tid: 0, ID: asyncID(sp.Func, sp.Req),
 				Args: map[string]any{"func": sp.Func, "req": sp.Req, "detail": sp.Detail},
 			})
+		case KindCounter:
+			// Counter timeline on the owning track's process (health
+			// scores per slice); unregistered tracks chart platform-wide.
+			pid, tid := platformPid, 0
+			if t, ok := tids[sp.Track]; ok {
+				pid, tid = nodePidBase+nodeOf[sp.Track], t
+			}
+			evs = append(evs, chromeEvent{
+				Name: sp.Name + " " + sp.Track, Cat: sp.Cat, Ph: "C",
+				Ts: usec(sp.Start), Pid: pid, Tid: tid,
+				Args: map[string]any{"value": sp.Value},
+			})
 		case KindMark:
 			pid, tid := platformPid, 0
 			if t, ok := tids[sp.Track]; ok {

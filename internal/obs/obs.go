@@ -12,7 +12,11 @@
 // instrumentation points do not need their own guards.
 package obs
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // SpanKind classifies how a span is rendered in the trace export.
 type SpanKind int
@@ -32,6 +36,9 @@ const (
 	// KindAsyncMark is an instant on a request's causal chain (retry
 	// and migration hops).
 	KindAsyncMark
+	// KindCounter is a sampled numeric value on a hardware track
+	// (per-slice health scores), rendered as a counter timeline.
+	KindCounter
 )
 
 // Span is one recorded observation. Times are virtual-time seconds.
@@ -58,6 +65,8 @@ type Span struct {
 	// span (exec spans only; 0 = no declared baseline). Drift analysis
 	// compares End-Start against it.
 	Declared float64
+	// Value is the sample of a KindCounter span.
+	Value float64
 }
 
 // Track is one registered hardware track.
@@ -90,6 +99,10 @@ type Recorder struct {
 
 	// gauges holds driver-set scalar metrics (e.g. dropped events).
 	gauges map[string]float64
+
+	// series holds driver-set labeled gauge families (per-slice health,
+	// per-node pool occupancy, per-reason reject counts).
+	series map[string]*labeledSeries
 
 	// duration is the observed run length, for utilisation fractions.
 	duration float64
@@ -191,17 +204,37 @@ func (r *Recorder) AsyncMark(cat, name string, fn, req int, t float64, detail st
 // by name. The track may be unregistered (instance IDs, function
 // names); the export puts those on the platform-wide track.
 func (r *Recorder) Mark(name, track string, t float64, detail string) {
+	r.MarkCat("event", name, track, t, detail)
+}
+
+// MarkCat is Mark with an explicit category ("health" for gray
+// transitions, "swap" for tier traffic, ...), so trace viewers can
+// group and filter lifecycle instants by subsystem.
+func (r *Recorder) MarkCat(cat, name, track string, t float64, detail string) {
 	if r == nil {
 		return
 	}
 	r.spans = append(r.spans, Span{
-		Kind: KindMark, Cat: "event", Name: name, Track: track,
+		Kind: KindMark, Cat: cat, Name: name, Track: track,
 		Func: -1, Req: -1, Stage: -1, Start: t, End: t, Detail: detail,
 	})
 	if r.marks == nil {
 		r.marks = make(map[string]int)
 	}
 	r.marks[name]++
+}
+
+// Counter records a sampled numeric value on a hardware track at time t
+// (e.g. a slice's health score). The chrome export renders these as
+// counter timelines on the owning track's process.
+func (r *Recorder) Counter(cat, name, track string, t, value float64) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Kind: KindCounter, Cat: cat, Name: name, Track: track,
+		Func: -1, Req: -1, Stage: -1, Start: t, End: t, Value: value,
+	})
 }
 
 // histKeySep separates function and outcome in histogram keys; it
@@ -284,6 +317,45 @@ func (r *Recorder) SetGauge(name string, v float64) {
 		r.gauges = make(map[string]float64)
 	}
 	r.gauges[name] = v
+}
+
+// labeledSeries is one labeled gauge family for the Prometheus export.
+type labeledSeries struct {
+	help  string
+	order []string // label-block emission order (insertion order)
+	// points maps a rendered label block (`k="v",k2="v2"`) to its value.
+	points map[string]float64
+}
+
+// SetSeries records one sample of a labeled gauge family; labels render
+// in the given order and later calls with the same name and labels
+// overwrite. Families export in name order, samples in insertion order
+// — callers that record in a deterministic order get deterministic
+// output.
+func (r *Recorder) SetSeries(name, help string, v float64, labels ...[2]string) {
+	if r == nil {
+		return
+	}
+	if r.series == nil {
+		r.series = make(map[string]*labeledSeries)
+	}
+	s := r.series[name]
+	if s == nil {
+		s = &labeledSeries{help: help, points: map[string]float64{}}
+		r.series[name] = s
+	}
+	var b strings.Builder
+	for i, lv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", lv[0], lv[1])
+	}
+	key := b.String()
+	if _, ok := s.points[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.points[key] = v
 }
 
 // SetDuration records the run length, the denominator of the exported

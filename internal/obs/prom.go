@@ -88,6 +88,21 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 			n, n, n, promFloat(r.gauges[n]))
 	}
 
+	// Labeled gauge families (per-slice health scores, per-node pool
+	// occupancy, per-reason reject counts), in family-name order with
+	// samples in the caller's insertion order.
+	for _, n := range sortedKeys(r.series) {
+		s := r.series[n]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", n, s.help, n)
+		for _, key := range s.order {
+			if key == "" {
+				fmt.Fprintf(&b, "%s %s\n", n, promFloat(s.points[key]))
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", n, key, promFloat(s.points[key]))
+			}
+		}
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }

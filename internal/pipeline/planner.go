@@ -151,7 +151,31 @@ type Planner struct {
 	rankOf       [mig.NumSliceTypes]int
 	cache        map[planKey]*PlanResult
 	stats        PlannerStats
+	// observer, when set, sees every Result lookup (decision
+	// provenance). Nil costs nothing; the observer must not call back
+	// into the planner.
+	observer func(PlanObservation)
 }
+
+// PlanObservation describes one Result lookup for provenance: how the
+// cache answered and what the construction concluded.
+type PlanObservation struct {
+	// Cached reports a cache hit; SigOK is false when the multiset
+	// overflowed the signature and bypassed the cache entirely.
+	Cached bool
+	SigOK  bool
+	// Sig is the multiset signature (0 on overflow), SLO the lookup's
+	// latency budget.
+	Sig uint64
+	SLO float64
+	// Rank is the chosen partition's CV rank (-1 when construction
+	// failed) and Err the construction error, nil on success.
+	Rank int
+	Err  error
+}
+
+// SetObserver installs fn as the lookup observer (nil removes it).
+func (p *Planner) SetObserver(fn func(PlanObservation)) { p.observer = fn }
 
 type planKey struct {
 	sig uint64
@@ -231,16 +255,26 @@ func (p *Planner) Result(c Counts, slo float64, avail func() []mig.SliceType) *P
 	sig, ok := c.Signature()
 	if !ok {
 		p.stats.Uncached++
-		return p.walk(c, slo, avail())
+		res := p.walk(c, slo, avail())
+		if p.observer != nil {
+			p.observer(PlanObservation{SigOK: false, SLO: slo, Rank: res.Rank, Err: res.Err})
+		}
+		return res
 	}
 	key := planKey{sig: sig, slo: slo}
 	if res, ok := p.cache[key]; ok {
 		p.stats.Hits++
+		if p.observer != nil {
+			p.observer(PlanObservation{Cached: true, SigOK: true, Sig: sig, SLO: slo, Rank: res.Rank, Err: res.Err})
+		}
 		return res
 	}
 	p.stats.Misses++
 	res := p.walk(c, slo, avail())
 	p.cache[key] = res
+	if p.observer != nil {
+		p.observer(PlanObservation{SigOK: true, Sig: sig, SLO: slo, Rank: res.Rank, Err: res.Err})
+	}
 	return res
 }
 

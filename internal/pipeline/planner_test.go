@@ -265,3 +265,59 @@ func TestPlannerBindIndicesSkipsConsumed(t *testing.T) {
 		t.Errorf("bound indices %v, want [2 1]", idx)
 	}
 }
+
+// TestPlannerObserver: the lookup observer fires once per Result call
+// and correctly distinguishes a constructing miss, a cache hit, and a
+// signature-overflow bypass — the provenance layer's raw signal.
+func TestPlannerObserver(t *testing.T) {
+	d := dag.New()
+	d.AddNode(dag.Node{Name: "n", MemGB: 8,
+		Exec: map[mig.SliceType]float64{mig.Slice2g: 0.1, mig.Slice7g: 0.05}})
+	parts, err := d.EnumeratePartitions(mig.Slice7g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(d, parts)
+	var obs []PlanObservation
+	pl.SetObserver(func(o PlanObservation) { obs = append(obs, o) })
+
+	avail := []mig.SliceType{mig.Slice2g, mig.Slice2g}
+	for i := 0; i < 3; i++ {
+		if _, _, err := pl.Construct(avail, 0); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if len(obs) != 3 {
+		t.Fatalf("observer fired %d times, want 3", len(obs))
+	}
+	if obs[0].Cached || !obs[0].SigOK || obs[0].Err != nil {
+		t.Errorf("first lookup = %+v, want uncached miss", obs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if !obs[i].Cached || !obs[i].SigOK || obs[i].Sig != obs[0].Sig {
+			t.Errorf("lookup %d = %+v, want hit with same signature", i, obs[i])
+		}
+	}
+
+	// A multiset too large to pack bypasses the cache and reports
+	// SigOK=false.
+	obs = nil
+	big := make([]mig.SliceType, 1<<sigBits)
+	for i := range big {
+		big[i] = mig.Slice1g
+	}
+	pl.Result(CountsOf(big), 0, func() []mig.SliceType { return big })
+	if len(obs) != 1 || obs[0].SigOK || obs[0].Cached {
+		t.Errorf("overflow lookup = %+v, want uncached SigOK=false", obs)
+	}
+
+	// Removing the observer stops delivery.
+	pl.SetObserver(nil)
+	obs = nil
+	if _, _, err := pl.Construct(avail, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 {
+		t.Error("removed observer still firing")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/pipeline"
 	"fluidfaas/internal/scheduler"
 )
@@ -24,26 +25,60 @@ func (p *Platform) route(rq *request) {
 	if p.opts.Overload.Enabled() && p.admissionReject(rq) {
 		return
 	}
+	// Decision provenance: each route() pass records exactly one Admit
+	// with the instances it passed over (and why) as candidates. The
+	// record is made before admit/enqueue so a request's chain reads
+	// admission first, then whatever the admission triggered.
+	dec := p.decOn()
+	var cands []decisions.Candidate
 	for k, inst := range p.routedInstances(fn) {
 		if inst.hasCapacity() {
+			if dec {
+				p.decideAdmit(rq, "first exclusive instance with capacity",
+					inst.id, "admitted to exclusive instance", cands)
+			}
 			inst.admit(p, rq)
 			p.advanceRoundRobin(fn, k)
 			return
 		}
+		if dec {
+			cands = append(cands, decisions.Candidate{ID: inst.id, Reason: instCandReason(inst)})
+		}
 	}
 	if fn.ts != nil && fn.ts.outstanding < fn.ts.capacity {
+		if dec {
+			p.decideAdmit(rq, "existing time-sharing binding",
+				fn.ts.shared.slice.ID(),
+				fmt.Sprintf("enqueued on shared slice (%d/%d outstanding)",
+					fn.ts.outstanding, fn.ts.capacity), cands)
+		}
 		fn.ts.shared.enqueue(p, fn.ts, rq)
 		return
+	}
+	if dec && fn.ts != nil {
+		cands = append(cands, decisions.Candidate{
+			ID: fn.ts.shared.slice.ID(),
+			Reason: fmt.Sprintf("time-sharing at capacity (%d/%d)",
+				fn.ts.outstanding, fn.ts.capacity),
+		})
 	}
 	// FluidFaaS: the first request creates a time-sharing instance
 	// (Fig. 8 transition 1).
 	if p.opts.Policy.TimeSharing() && fn.ts == nil {
 		if inv := p.pickInvokerForTS(fn); inv != nil {
 			if b := inv.bindTS(fn); b != nil {
+				if dec {
+					p.decideAdmit(rq, "fresh time-sharing binding",
+						b.shared.slice.ID(), "bound and enqueued on shared slice", cands)
+				}
 				b.shared.enqueue(p, b, rq)
 				return
 			}
 		}
+	}
+	if dec {
+		p.decideAdmit(rq, "no capacity anywhere", "",
+			"pending overflow (scale-up kicked)", cands)
 	}
 	fn.pushPending(rq)
 	p.kickScaleUp()
@@ -289,7 +324,11 @@ func (p *Platform) scaleUp() {
 		inst := p.launchInstance(fn, inv.node, pl.Plan, slices, load)
 		// Drain pending into the new (still loading) instance.
 		for len(fn.pending) > 0 && inst.hasCapacity() {
-			inst.admit(p, fn.popPending())
+			rq := fn.popPending()
+			if p.decOn() {
+				p.decideDrain(rq, inst.id, "admitted to freshly launched instance")
+			}
+			inst.admit(p, rq)
 		}
 	}
 }
@@ -342,6 +381,22 @@ func (p *Platform) demote(inst *Instance) {
 	fn := inst.fn
 	inv := p.invokerOf(inst.node)
 	p.logEvent(EvDemote, inst.id, "idle below hotness threshold")
+	if p.decOn() {
+		now := p.eng.Now()
+		outcome := "slices released, warm binding kept"
+		if fn.ts == nil && !inst.Pipelined() {
+			outcome = "slice adopted into pool, model resident"
+		}
+		p.decide(decisions.Record{
+			Kind: decisions.KindDemote, Func: fn.spec.Name,
+			Req: decisions.NoRequest, Subject: inst.id,
+			Rule: "idle below hotness threshold", Outcome: outcome,
+			Inputs: []decisions.KV{
+				kvF("idle", inst.tracker.IdleFor(now)),
+				kvF("threshold", p.effIdleDemote()),
+			},
+		})
+	}
 	if fn.ts == nil && !inst.Pipelined() {
 		fn.removeInstance(inst)
 		inv.adoptShared(inst.slices[0], fn)
@@ -424,6 +479,18 @@ func (p *Platform) dropStalePending() {
 				// this, Latency() on a dropped record goes negative.
 				rq.rec.Completion = now
 				p.logEvent(EvDrop, fn.spec.Name, "pending past the client timeout")
+				if p.decOn() {
+					p.decide(decisions.Record{
+						Kind: decisions.KindDrop, Func: fn.spec.Name,
+						Req: rq.id, Attempt: rq.attempts,
+						Rule:    "client-timeout",
+						Outcome: "dropped from pending overflow",
+						Inputs: []decisions.KV{
+							kvF("waited", now-rq.arrival),
+							kvF("limit", p.opts.PendingDrop*fn.spec.SLO),
+						},
+					})
+				}
 				p.record(rq.rec)
 				continue
 			}

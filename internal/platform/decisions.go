@@ -1,0 +1,193 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/pipeline"
+)
+
+// This file is the platform side of decision provenance
+// (internal/obs/decisions): thin helpers the choice points call to
+// record why they did what they did. Everything is gated on
+// Options.Decisions != nil — the nil path builds no arguments and
+// allocates nothing, keeping recorder-off runs bit-identical
+// (TestDecisionsDisabledIdentity, the PR-3 pattern).
+
+// decOn reports whether decision provenance is being recorded.
+func (p *Platform) decOn() bool { return p.opts.Decisions != nil }
+
+// decide stamps rec with the current virtual time and records it.
+// Call sites guard argument construction behind decOn themselves.
+func (p *Platform) decide(rec decisions.Record) {
+	rec.Time = p.eng.Now()
+	p.opts.Decisions.Record(rec)
+}
+
+// kv/kvF/kvI build decision inputs with deterministic rendering.
+func kv(k, v string) decisions.KV { return decisions.KV{K: k, V: v} }
+
+func kvF(k string, v float64) decisions.KV {
+	return decisions.KV{K: k, V: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+func kvI(k string, v int) decisions.KV {
+	return decisions.KV{K: k, V: strconv.Itoa(v)}
+}
+
+// decideAdmit records one admission-routing decision for rq: every
+// route() invocation (first attempt or retry re-route) produces exactly
+// one Admit record (or a Reject from admission control), so a request's
+// chain always opens with its admission fate per attempt.
+func (p *Platform) decideAdmit(rq *request, rule, subject, outcome string, cands []decisions.Candidate) {
+	p.decide(decisions.Record{
+		Kind: decisions.KindAdmit, Func: rq.fn.spec.Name,
+		Req: rq.id, Attempt: rq.attempts,
+		Subject: subject, Rule: rule, Outcome: outcome,
+		Candidates: cands,
+	})
+}
+
+// decideDrain records a pending-overflow request finally finding a
+// home: its chain already carries the "pending overflow" admission
+// verdict, this is the placement that resolved it.
+func (p *Platform) decideDrain(rq *request, subject, outcome string) {
+	p.decideAdmit(rq, "pending-overflow drain", subject, outcome, nil)
+}
+
+// instCandReason says why a scanned exclusive instance did not admit.
+func instCandReason(inst *Instance) string {
+	if inst.retiring {
+		return "retiring"
+	}
+	return fmt.Sprintf("at capacity (%d/%d)", inst.outstanding, inst.capacity)
+}
+
+// poolCandidates lists the invoker's other pool slices and why each was
+// not the bind target. Only called while provenance is on.
+func poolCandidates(inv *Invoker, fn *Function, chosen *sharedSlice) []decisions.Candidate {
+	var cands []decisions.Candidate
+	for _, ss := range inv.shared {
+		if ss == chosen {
+			continue
+		}
+		reason := fmt.Sprintf("queue %d", ss.qlen())
+		if _, ok := fn.monoExec[ss.slice.Type]; !ok {
+			reason = "type cannot host function"
+		}
+		cands = append(cands, decisions.Candidate{ID: ss.slice.ID(), Reason: reason})
+	}
+	return cands
+}
+
+// wirePlanObservers attaches a provenance observer to every function's
+// plan cache, so placement lookups record hit/miss/uncached with the
+// signature and outcome the planner saw. Called from New only when
+// provenance is on; without it the planner's observer stays nil and the
+// lookup path is untouched.
+func (p *Platform) wirePlanObservers() {
+	for _, fn := range p.funcs {
+		if fn.planner == nil {
+			continue
+		}
+		fn := fn
+		fn.planner.SetObserver(func(o pipeline.PlanObservation) {
+			kind := decisions.KindPlanMiss
+			rule := "constructed and cached"
+			switch {
+			case !o.SigOK:
+				kind = decisions.KindPlanUncached
+				rule = "signature overflow"
+			case o.Cached:
+				kind = decisions.KindPlanHit
+				rule = "served from cache"
+			}
+			outcome := fmt.Sprintf("rank %d plan", o.Rank)
+			if o.Err != nil {
+				outcome = "no feasible plan: " + o.Err.Error()
+			}
+			p.decide(decisions.Record{
+				Kind: kind, Func: fn.spec.Name, Req: decisions.NoRequest,
+				Rule: rule, Outcome: outcome,
+				Inputs: []decisions.KV{
+					kv("sig", "0x"+strconv.FormatUint(o.Sig, 16)),
+					kvF("slo", o.SLO),
+				},
+			})
+		})
+	}
+}
+
+// sliceIDs joins slice IDs for bind-decision inputs.
+func sliceIDs(sls []*mig.Slice) string {
+	ids := make([]string, len(sls))
+	for i, sl := range sls {
+		ids[i] = sl.ID()
+	}
+	return strings.Join(ids, "+")
+}
+
+// eventCat maps a lifecycle event to the trace category its instant is
+// filed under, so health and swap instants can be filtered apart from
+// ordinary lifecycle in the Chrome trace.
+func eventCat(k EventKind) string {
+	switch k {
+	case EvDegrade, EvSliceSuspect, EvSliceQuarantine, EvRecover:
+		return "health"
+	case EvSwapIn, EvSwapOut:
+		return "swap"
+	}
+	return "event"
+}
+
+// exportRunCounters publishes the end-of-run counters that previously
+// lived only on the Platform struct into the trace recorder's metric
+// surface: hedge economics, swap-tier traffic, per-node host-pool
+// occupancy, per-slice health scores, and typed reject reasons. Called
+// once at the end of Run; a nil recorder skips everything.
+func (p *Platform) exportRunCounters() {
+	r := p.opts.Obs
+	if r == nil {
+		return
+	}
+	r.SetGauge("fluidfaas_hedges_total", float64(p.hedges))
+	r.SetGauge("fluidfaas_hedge_wins_total", float64(p.hedgeWins))
+	r.SetGauge("fluidfaas_hedge_cancels_total", float64(p.hedgeCancels))
+	r.SetGauge("fluidfaas_hedge_wasted_seconds_total", p.hedgeWastedSec)
+	r.SetGauge("fluidfaas_swap_ins_total", float64(p.swapIns))
+	r.SetGauge("fluidfaas_swap_outs_total", float64(p.swapOuts))
+	r.SetGauge("fluidfaas_swap_reliefs_total", float64(p.swapReliefs))
+	for _, inv := range p.inv {
+		r.SetSeries("fluidfaas_host_pool_occupancy",
+			"Host-memory pool occupancy (UsedGB/CapacityGB) per node at run end.",
+			inv.node.Pool().Occupancy(),
+			[2]string{"node", strconv.Itoa(inv.node.ID)})
+	}
+	ids := make([]string, 0, len(p.health))
+	byID := make(map[string]*sliceHealth, len(p.health))
+	for sl, h := range p.health {
+		ids = append(ids, sl.ID())
+		byID[sl.ID()] = h
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := byID[id]
+		r.SetSeries("fluidfaas_slice_health_score",
+			"Gray-failure health score (EWMA observed/declared exec ratio) per scored slice at run end.",
+			h.score,
+			[2]string{"slice", id}, [2]string{"state", healthStateName(h.state)})
+	}
+	for why := RejectReason(0); why < numRejectReasons; why++ {
+		if p.rejectReasons[why] == 0 && !p.opts.Overload.Enabled() {
+			continue
+		}
+		r.SetSeries("fluidfaas_rejects_total",
+			"Admission fast-fails by typed reason.",
+			float64(p.rejectReasons[why]),
+			[2]string{"reason", why.String()})
+	}
+}

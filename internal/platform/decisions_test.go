@@ -1,0 +1,172 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/faults"
+	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/overload"
+	"fluidfaas/internal/scheduler"
+)
+
+// richOptions is a configuration exercising every decision point at
+// once: gray scoring with hedging, degraded faults with retries,
+// the swap tier, and full overload control.
+func richOptions(dec *decisions.Recorder) Options {
+	g := grayTestOptions()
+	g.Hedge = true
+	g.HedgeBudget = 0.1
+	return Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 7,
+		Faults:    &faults.Spec{DegradedRate: 0.05, DegradedMTTR: 60, SliceRate: 0.02, SliceMTTR: 30},
+		Gray:      g,
+		Swap:      SwapOptions{Enabled: true},
+		Overload:  overload.Config{Admission: true, FairQueue: true, Brownout: true},
+		Decisions: dec,
+	}
+}
+
+func runRich(t *testing.T, dec *decisions.Recorder) *Platform {
+	t.Helper()
+	specs := specsFor(t, dnn.Small)
+	cl := cluster.New(cluster.DefaultSpec())
+	p := New(cl, specs, richOptions(dec))
+	p.Run(flatTrace(specs, 6, 180, 7), 60)
+	return p
+}
+
+// TestDecisionsDisabledIdentity: the provenance recorder is a pure
+// observer — a same-seed run with it attached must be bit-for-bit
+// identical to one without it, across every subsystem at once.
+func TestDecisionsDisabledIdentity(t *testing.T) {
+	a := runRich(t, nil)
+	b := runRich(t, decisions.NewRecorder(0))
+	if !reflect.DeepEqual(a.Collector().Records(), b.Collector().Records()) {
+		t.Error("request records diverged with the recorder attached")
+	}
+	if a.Engine().Executed() != b.Engine().Executed() {
+		t.Errorf("event counts diverged: %d vs %d",
+			a.Engine().Executed(), b.Engine().Executed())
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Error("event logs diverged")
+	}
+	if !reflect.DeepEqual(a.UtilGPCs, b.UtilGPCs) {
+		t.Error("utilisation timelines diverged")
+	}
+	if a.Launched() != b.Launched() || a.Evictions() != b.Evictions() ||
+		a.Hedges() != b.Hedges() || a.SwapIns() != b.SwapIns() ||
+		a.Rejected() != b.Rejected() {
+		t.Error("platform counters diverged")
+	}
+}
+
+// TestDecisionChains: every request in a full multi-subsystem run has a
+// decision chain; each chain opens with the admission verdict (admit or
+// reject), is strictly seq-ordered, and hedge spawns are eventually
+// settled within the same chain.
+func TestDecisionChains(t *testing.T) {
+	dec := decisions.NewRecorder(0)
+	p := runRich(t, dec)
+
+	total := p.Collector().Len()
+	if total == 0 || dec.Total() == 0 {
+		t.Fatalf("empty run: %d requests, %d decisions", total, dec.Total())
+	}
+	reqs := dec.Requests()
+	if len(reqs) != total {
+		t.Fatalf("chains for %d of %d requests", len(reqs), total)
+	}
+	hedged := 0
+	for _, id := range reqs {
+		chain := dec.Chain(id)
+		if len(chain) == 0 {
+			t.Fatalf("req %d: empty chain", id)
+		}
+		if k := chain[0].Kind; k != decisions.KindAdmit && k != decisions.KindReject {
+			t.Fatalf("req %d: chain opens with %v, want admit or reject", id, k)
+		}
+		spawns, settles := 0, 0
+		for i, rec := range chain {
+			if rec.Req != id {
+				t.Fatalf("req %d: foreign record %+v", id, rec)
+			}
+			if i > 0 && rec.Seq <= chain[i-1].Seq {
+				t.Fatalf("req %d: chain not seq-ordered", id)
+			}
+			switch rec.Kind {
+			case decisions.KindHedgeSpawn:
+				spawns++
+			case decisions.KindHedgeSettle:
+				settles++
+			}
+		}
+		if spawns > 0 {
+			hedged++
+			if settles == 0 {
+				t.Errorf("req %d: %d hedge spawns never settled", id, spawns)
+			}
+		}
+	}
+	if p.Hedges() > 0 && hedged == 0 {
+		t.Error("platform hedged but no chain carries a hedge-spawn record")
+	}
+	counts := dec.Counts()
+	if counts["admit"] == 0 || counts["plan-miss"] == 0 {
+		t.Errorf("expected admit and plan-miss decisions, got %v", counts)
+	}
+	if p.Rejected() > 0 && counts["reject"] == 0 {
+		t.Errorf("%d rejections but no reject decisions", p.Rejected())
+	}
+	if p.FaultsInjected() == 0 {
+		t.Fatal("no faults injected; the chain test lost its retry coverage")
+	}
+}
+
+// TestQuarantineFreezesRing: a quarantine is an anomaly — it must
+// freeze the decision ring into a dump whose records include the
+// quarantine verdict itself.
+func TestQuarantineFreezesRing(t *testing.T) {
+	dec := decisions.NewRecorder(0)
+	specs := specsFor(t, dnn.Small)[:1]
+	cl := smallCluster(1)
+	p := New(cl, specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 1,
+		Gray: grayTestOptions(), Decisions: dec,
+	})
+	inv, fn := p.inv[0], p.funcs[0]
+	b := inv.bindTS(fn)
+	if b == nil {
+		t.Fatal("bindTS failed")
+	}
+	sl := b.shared.slice
+	for i := 0; i < 3; i++ {
+		p.observeSliceExec(sl, 1, 2)
+	}
+	p.observeSliceExec(sl, 1, 8)
+	if p.Quarantines() != 1 {
+		t.Fatalf("quarantines = %d, want 1", p.Quarantines())
+	}
+	if dec.Freezes() != 1 {
+		t.Fatalf("freezes = %d, want 1", dec.Freezes())
+	}
+	dumps := dec.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(dumps))
+	}
+	found := false
+	for _, rec := range dumps[0].Records {
+		if rec.Kind == decisions.KindQuarantine {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("frozen dump does not contain the quarantine decision")
+	}
+	if counts := dec.Counts(); counts["suspect"] == 0 || counts["quarantine"] != 1 {
+		t.Errorf("counts = %v, want suspect>0 and quarantine=1", counts)
+	}
+}

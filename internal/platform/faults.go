@@ -10,6 +10,7 @@ import (
 	"fluidfaas/internal/faults"
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 )
 
 // This file is the platform's reaction to hardware faults: injection of
@@ -344,12 +345,33 @@ func (p *Platform) retryAfterFault(rq *request, reason string) {
 		rq.rec.Failed = true
 		rq.rec.Completion = now
 		p.logEvent(EvDrop, rq.fn.spec.Name, "abandoned: "+reason)
+		if p.decOn() {
+			p.decide(decisions.Record{
+				Kind: decisions.KindDrop, Func: rq.fn.spec.Name,
+				Req: rq.id, Attempt: rq.attempts,
+				Rule: "retry-abandoned", Outcome: "abandoned: " + reason,
+				Inputs: []decisions.KV{
+					kvI("attempts", rq.attempts),
+					kvI("max_attempts", pol.MaxAttempts),
+					kvF("backoff", backoff),
+					kvF("horizon", horizon),
+				},
+			})
+		}
 		p.record(rq.rec)
 		return
 	}
 	rq.rec.Retries++
 	p.retries++
 	p.logEvent(EvRetry, rq.fn.spec.Name, reason)
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindRetry, Func: rq.fn.spec.Name,
+			Req: rq.id, Attempt: rq.attempts,
+			Rule: "fault-retry", Outcome: reason,
+			Inputs: []decisions.KV{kvF("backoff", backoff)},
+		})
+	}
 	p.opts.Obs.AsyncMark("retry", "retry", rq.rec.Func, rq.rec.ID, now, reason)
 	p.eng.After(backoff, func() { p.route(rq) })
 }

@@ -2,9 +2,11 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 )
 
 // This file is the platform's defence against gray failures: hardware
@@ -186,6 +188,18 @@ func (p *Platform) observeSliceExec(sl *mig.Slice, declared, observed float64) {
 			p.suspects++
 			p.logEvent(EvSliceSuspect, sl.ID(),
 				fmt.Sprintf("health score %.2f over %.2f", h.score, g.SuspectRatio))
+			if p.decOn() {
+				p.decide(decisions.Record{
+					Kind: decisions.KindSuspect, Req: decisions.NoRequest,
+					Subject: sl.ID(), Rule: "EWMA score over suspect threshold",
+					Outcome: "healthy -> suspect",
+					Inputs: []decisions.KV{
+						kvF("score", h.score),
+						kvF("threshold", g.SuspectRatio),
+						kvI("samples", h.samples),
+					},
+				})
+			}
 		}
 	case sliceSuspect:
 		switch {
@@ -200,6 +214,18 @@ func (p *Platform) observeSliceExec(sl *mig.Slice, declared, observed float64) {
 				h.belowSince = -1
 				p.logEvent(EvRecover, sl.ID(),
 					fmt.Sprintf("health score %.2f back under %.2f", h.score, g.RecoverRatio))
+				if p.decOn() {
+					p.decide(decisions.Record{
+						Kind: decisions.KindSuspect, Req: decisions.NoRequest,
+						Subject: sl.ID(), Rule: "recovery dwell satisfied",
+						Outcome: "suspect -> healthy",
+						Inputs: []decisions.KV{
+							kvF("score", h.score),
+							kvF("threshold", g.RecoverRatio),
+							kvF("dwell", g.RecoverDwell),
+						},
+					})
+				}
 			}
 		default:
 			// Score in the hysteresis band: the recovery streak breaks.
@@ -221,7 +247,24 @@ func (p *Platform) quarantineSlice(sl *mig.Slice, h *sliceHealth) {
 	p.quarantines++
 	p.logEvent(EvSliceQuarantine, sl.ID(),
 		fmt.Sprintf("health score %.2f over %.2f", h.score, p.opts.Gray.QuarantineRatio))
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindQuarantine, Req: decisions.NoRequest,
+			Subject: sl.ID(), Rule: "EWMA score over quarantine threshold",
+			Outcome: "suspect -> quarantined; owner torn down",
+			Inputs: []decisions.KV{
+				kvF("score", h.score),
+				kvF("threshold", p.opts.Gray.QuarantineRatio),
+				kvF("probation", p.opts.Gray.Probation),
+			},
+		})
+	}
 	p.tearDownQuarantined(sl)
+	// A quarantine is an anomaly: freeze the provenance ring after the
+	// teardown so the dump carries the retries it caused.
+	if p.decOn() {
+		p.opts.Decisions.Freeze(p.eng.Now(), "quarantine "+sl.ID())
+	}
 	p.eng.After(p.opts.Gray.Probation, func() { p.liftQuarantine(sl) })
 	// Torn-down demand must re-place on healthy hardware now, not at
 	// the next control period.
@@ -279,20 +322,52 @@ func (p *Platform) liftQuarantine(sl *mig.Slice) {
 	h.samples = 0
 	h.belowSince = -1
 	p.logEvent(EvSliceSuspect, sl.ID(), "probation over: readmitted for probing")
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindSuspect, Req: decisions.NoRequest,
+			Subject: sl.ID(), Rule: "probation expired",
+			Outcome: "quarantined -> suspect (must re-earn healthy)",
+			Inputs:  []decisions.KV{kvF("score", h.score)},
+		})
+	}
 	p.kickScaleUp()
 }
 
 // sampleHealth appends every scored slice's current health score to its
-// timeline (called from sampleUtilization while the scorer is on).
+// timeline (called from sampleUtilization while the scorer is on). The
+// walk is sorted by slice ID so the trace recorder's counter timeline
+// (one "health" counter per slice hardware track) is deterministic.
 func (p *Platform) sampleHealth(now float64) {
+	ids := make([]string, 0, len(p.health))
+	byID := make(map[string]*sliceHealth, len(p.health))
 	for sl, h := range p.health {
-		tl := p.HealthScores[sl.ID()]
+		ids = append(ids, sl.ID())
+		byID[sl.ID()] = h
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := byID[id]
+		tl := p.HealthScores[id]
 		if tl == nil {
 			tl = &metrics.Timeline{}
-			p.HealthScores[sl.ID()] = tl
+			p.HealthScores[id] = tl
 		}
 		tl.Add(now, h.score)
+		if r := p.opts.Obs; r != nil {
+			r.Counter("health", "health", id, now, h.score)
+		}
 	}
+}
+
+// healthStateName names a scorer state for metrics labels.
+func healthStateName(state int) string {
+	switch state {
+	case sliceSuspect:
+		return "suspect"
+	case sliceQuarantinedState:
+		return "quarantined"
+	}
+	return "healthy"
 }
 
 // Suspects returns how many healthy->suspect transitions occurred.

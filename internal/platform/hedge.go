@@ -5,6 +5,7 @@ import (
 
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 )
 
 // Hedged retries (gray-failure mitigation, stage 2): a request whose
@@ -52,6 +53,17 @@ func (p *Platform) settleHedge(rq *request) (loser bool) {
 		if rq == h.clone {
 			p.hedgeWins++
 		}
+		if p.decOn() {
+			outcome := "primary won"
+			if rq == h.clone {
+				outcome = "clone won"
+			}
+			p.decide(decisions.Record{
+				Kind: decisions.KindHedgeSettle, Func: rq.fn.spec.Name,
+				Req: rq.id, Attempt: rq.attempts,
+				Rule: "first-completion-wins", Outcome: outcome,
+			})
+		}
 		return false
 	}
 	if h.winner == rq {
@@ -72,6 +84,14 @@ func (p *Platform) chargeHedgeWaste(rq *request, detail string) {
 	p.hedgeCancels++
 	p.logEvent(EvHedgeCancel, rq.fn.spec.Name,
 		fmt.Sprintf("%s, %.3fs wasted", detail, wasted))
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindHedgeSettle, Func: rq.fn.spec.Name,
+			Req: rq.id, Attempt: rq.attempts,
+			Rule: "loser-cancelled", Outcome: detail,
+			Inputs: []decisions.KV{kvF("wasted", wasted)},
+		})
+	}
 }
 
 // shouldHedge gates a hedge launch for rq currently placed on sl with
@@ -170,6 +190,18 @@ func (p *Platform) launchHedge(rq *request, avoidInst *Instance, avoidShared *sh
 		p.armHedge(rq, clone, now)
 		p.logEvent(EvHedge, fn.spec.Name,
 			fmt.Sprintf("request %d duplicated onto %s", rq.id, inst.id))
+		if p.decOn() {
+			p.decide(decisions.Record{
+				Kind: decisions.KindHedgeSpawn, Func: fn.spec.Name,
+				Req: rq.id, Attempt: rq.attempts, Subject: inst.id,
+				Rule:    "deadline at risk on suspect slice",
+				Outcome: "duplicated onto clean exclusive instance",
+				Inputs: []decisions.KV{
+					kvI("budget_used", fn.hedges),
+					kvI("served", fn.served),
+				},
+			})
+		}
 		inst.admit(p, clone)
 		return
 	}
@@ -178,6 +210,18 @@ func (p *Platform) launchHedge(rq *request, avoidInst *Instance, avoidShared *sh
 		p.armHedge(rq, clone, now)
 		p.logEvent(EvHedge, fn.spec.Name,
 			fmt.Sprintf("request %d duplicated onto shared %s", rq.id, b.shared.slice.ID()))
+		if p.decOn() {
+			p.decide(decisions.Record{
+				Kind: decisions.KindHedgeSpawn, Func: fn.spec.Name,
+				Req: rq.id, Attempt: rq.attempts, Subject: b.shared.slice.ID(),
+				Rule:    "deadline at risk on suspect slice",
+				Outcome: "duplicated onto clean shared slice",
+				Inputs: []decisions.KV{
+					kvI("budget_used", fn.hedges),
+					kvI("served", fn.served),
+				},
+			})
+		}
 		// The clone enqueues under the function's own fair-queue flow,
 		// so its service charges the function's virtual time like any
 		// other request — hedging cannot steal fairness from

@@ -7,6 +7,7 @@ import (
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/pipeline"
 	"fluidfaas/internal/sim"
 )
@@ -163,6 +164,19 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 	fn.lastNodeUse[node.ID] = now
 	p.launched++
 	p.logEvent(EvLaunch, inst.id, plan.String())
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindBind, Func: fn.spec.Name,
+			Req: decisions.NoRequest, Subject: inst.id,
+			Rule:    "policy placement",
+			Outcome: "launched " + plan.String(),
+			Inputs: []decisions.KV{
+				kv("slices", sliceIDs(slices)),
+				kvF("load", loadTime),
+				kvI("capacity", inst.capacity),
+			},
+		})
+	}
 	return inst
 }
 
@@ -393,6 +407,9 @@ func (p *Platform) onInstanceSlack(inst *Instance) {
 	fn := inst.fn
 	for len(fn.pending) > 0 && inst.hasCapacity() {
 		rq := fn.popPending()
+		if p.decOn() {
+			p.decideDrain(rq, inst.id, "admitted on completion slack")
+		}
 		inst.admit(p, rq)
 	}
 	// A fault-failed instance already released its slices in

@@ -7,6 +7,7 @@ import (
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/overload"
 )
 
@@ -266,6 +267,19 @@ func (inv *Invoker) bindTS(fn *Function) *tsBinding {
 	ss.bindings[fn.spec.Name] = b
 	ss.lru.Touch(fn.spec.Name)
 	fn.ts = b
+	if inv.p.decOn() {
+		inv.p.decide(decisions.Record{
+			Kind: decisions.KindBind, Func: fn.spec.Name,
+			Req: decisions.NoRequest, Subject: ss.slice.ID(),
+			Rule:    "shortest-queue pool slice",
+			Outcome: fmt.Sprintf("time-sharing binding, capacity %d", b.capacity),
+			Inputs: []decisions.KV{
+				kvI("queue", ss.qlen()),
+				kvF("host_copy_gb", b.hostMemGB),
+			},
+			Candidates: poolCandidates(inv, fn, ss),
+		})
+	}
 	return b
 }
 
@@ -725,6 +739,18 @@ func (ss *sharedSlice) dropStale(p *Platform, now float64) []*tsBinding {
 			j.rq.rec.Dropped = true
 			j.rq.rec.Completion = now
 			p.logEvent(EvDrop, j.rq.fn.spec.Name, "time-sharing queue past the client timeout")
+			if p.decOn() {
+				p.decide(decisions.Record{
+					Kind: decisions.KindDrop, Func: j.rq.fn.spec.Name,
+					Req: j.rq.id, Attempt: j.rq.attempts,
+					Subject: ss.slice.ID(), Rule: "client-timeout",
+					Outcome: "dropped from time-sharing queue",
+					Inputs: []decisions.KV{
+						kvF("waited", now-j.rq.arrival),
+						kvF("limit", p.opts.PendingDrop*j.rq.fn.spec.SLO),
+					},
+				})
+			}
 			p.record(j.rq.rec)
 		}
 		seen := false
@@ -746,6 +772,9 @@ func (p *Platform) onTSSlack(b *tsBinding) {
 	fn := b.fn
 	for len(fn.pending) > 0 && b.outstanding < b.capacity && fn.ts == b {
 		rq := fn.popPending()
+		if p.decOn() {
+			p.decideDrain(rq, b.shared.slice.ID(), "enqueued on shared slice with new slack")
+		}
 		b.shared.enqueue(p, b, rq)
 	}
 }
@@ -806,7 +835,11 @@ func (p *Platform) tryMigration(freed *mig.Slice) {
 	// away — discarding it stranded those requests until the next
 	// completion or control tick.
 	for len(bestFn.pending) > 0 && newInst.hasCapacity() {
-		newInst.admit(p, bestFn.popPending())
+		rq := bestFn.popPending()
+		if p.decOn() {
+			p.decideDrain(rq, newInst.id, "admitted to migration monolith")
+		}
+		newInst.admit(p, rq)
 	}
 	if bestInst.outstanding == 0 {
 		p.releaseInstance(bestInst)

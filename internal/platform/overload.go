@@ -6,9 +6,43 @@ import (
 
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/pipeline"
 )
+
+// RejectReason is the typed cause of an admission-time rejection,
+// replacing the bare strings reject used to take: the reason selects
+// the event kind, the per-reason counter, and the provenance label; the
+// human-readable detail rides alongside.
+type RejectReason int
+
+const (
+	// RejectShed: brownout priority shedding turned the request away.
+	RejectShed RejectReason = iota
+	// RejectDeadline: the completion estimate already missed the deadline.
+	RejectDeadline
+	numRejectReasons
+)
+
+// String names the reason for metrics labels and decision records.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectShed:
+		return "shed-priority"
+	case RejectDeadline:
+		return "deadline-estimate"
+	}
+	return fmt.Sprintf("RejectReason(%d)", int(r))
+}
+
+// eventKind maps the reason to the lifecycle event it emits.
+func (r RejectReason) eventKind() EventKind {
+	if r == RejectShed {
+		return EvShed
+	}
+	return EvReject
+}
 
 // This file integrates the overload-control subsystem
 // (internal/overload) with the platform: SLO-aware admission at route,
@@ -33,8 +67,17 @@ func (p *Platform) admissionReject(rq *request) bool {
 		// routing path instead of a rejection.
 		if !p.trySwapRelief() {
 			p.shed++
-			p.reject(rq, EvShed, fmt.Sprintf("brownout %s: priority %d below %d",
-				p.ladder.Level(), fn.spec.Priority, p.maxPriority))
+			var inputs []decisions.KV
+			if p.decOn() {
+				inputs = []decisions.KV{
+					kv("brownout", p.ladder.Level().String()),
+					kvI("priority", fn.spec.Priority),
+					kvI("floor", p.maxPriority),
+					kvF("pressure", p.lastPressure),
+				}
+			}
+			p.reject(rq, RejectShed, fmt.Sprintf("brownout %s: priority %d below %d",
+				p.ladder.Level(), fn.spec.Priority, p.maxPriority), inputs)
 			return true
 		}
 	}
@@ -48,7 +91,16 @@ func (p *Platform) admissionReject(rq *request) bool {
 		// up and rejects forever.
 		fn.rejectDemand++
 		p.kickScaleUp()
-		p.reject(rq, EvReject, fmt.Sprintf("estimated completion %.3fs past deadline", est))
+		var inputs []decisions.KV
+		if p.decOn() {
+			inputs = []decisions.KV{
+				kvF("estimate", est),
+				kvF("slack", oc.AdmissionSlack),
+				kvF("deadline", rq.deadline),
+			}
+		}
+		p.reject(rq, RejectDeadline,
+			fmt.Sprintf("estimated completion %.3fs past deadline", est), inputs)
 		return true
 	}
 	return false
@@ -56,14 +108,32 @@ func (p *Platform) admissionReject(rq *request) bool {
 
 // reject fast-fails a request at arrival: the record carries the
 // rejection instant as its completion, so fast-fail latency is bounded
-// (zero wait) and distinct from a timeout drop.
-func (p *Platform) reject(rq *request, kind EventKind, reason string) {
+// (zero wait) and distinct from a timeout drop. inputs (nil unless
+// provenance is on) become the Reject decision's inputs.
+func (p *Platform) reject(rq *request, why RejectReason, detail string, inputs []decisions.KV) {
 	rq.rec.Dropped = true
 	rq.rec.Rejected = true
 	rq.rec.Completion = p.eng.Now()
 	p.rejected++
-	p.logEvent(kind, rq.fn.spec.Name, reason)
+	p.rejectReasons[why]++
+	p.logEvent(why.eventKind(), rq.fn.spec.Name, detail)
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindReject, Func: rq.fn.spec.Name,
+			Req: rq.id, Attempt: rq.attempts,
+			Rule: why.String(), Outcome: detail, Inputs: inputs,
+		})
+	}
 	p.record(rq.rec)
+}
+
+// RejectedByReason returns admission rejections keyed by typed reason.
+func (p *Platform) RejectedByReason() map[string]int {
+	out := make(map[string]int, numRejectReasons)
+	for r := RejectReason(0); r < numRejectReasons; r++ {
+		out[r.String()] = p.rejectReasons[r]
+	}
+	return out
 }
 
 // completionEstimate is the optimistic end-to-end estimate for a new
@@ -167,6 +237,14 @@ func (p *Platform) brownoutTick() {
 	if from, to, changed := p.ladder.Observe(now, p.lastPressure); changed {
 		p.logEvent(EvBrownout, fmt.Sprintf("%s -> %s", from, to),
 			fmt.Sprintf("pressure %.2f", p.lastPressure))
+		if p.decOn() {
+			p.decide(decisions.Record{
+				Kind: decisions.KindBrownout, Req: decisions.NoRequest,
+				Subject: to.String(), Rule: "pressure ladder",
+				Outcome: fmt.Sprintf("%s -> %s", from, to),
+				Inputs:  []decisions.KV{kvF("pressure", p.lastPressure)},
+			})
+		}
 	}
 	if p.ladder.Level() >= overload.LevelDegrade {
 		p.contractPipelined()
@@ -287,7 +365,11 @@ func (p *Platform) contractPipelined() {
 	p.logEvent(EvContract, worst.id,
 		fmt.Sprintf("contracted %d->%d GPCs into %s", worst.plan.GPCs(), plan.GPCs(), repl.id))
 	for len(fn.pending) > 0 && repl.hasCapacity() {
-		repl.admit(p, fn.popPending())
+		rq := fn.popPending()
+		if p.decOn() {
+			p.decideDrain(rq, repl.id, "admitted to contracted replacement instance")
+		}
+		repl.admit(p, rq)
 	}
 	if worst.outstanding == 0 {
 		p.releaseInstance(worst)

@@ -17,6 +17,7 @@ import (
 	"fluidfaas/internal/metrics"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
+	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/pipeline"
 	"fluidfaas/internal/scheduler"
@@ -115,6 +116,15 @@ type Options struct {
 	// pure observer: a run with Obs attached is bit-for-bit identical
 	// to one without (nil short-circuits every instrumentation point).
 	Obs *obs.Recorder
+	// Decisions, when set, records decision provenance: every scheduling
+	// choice point (admission, rejection, plan-cache lookups, binds,
+	// demotions, swap evictions, brownout transitions, quarantines,
+	// hedges, fault retries, drops) logs a typed record of the inputs it
+	// saw and the outcome it chose, causally linked to the request's
+	// trace by request ID and attempt. Like Obs, it is a pure observer:
+	// nil short-circuits every recording point, keeping recorder-off runs
+	// bit-for-bit identical (enforced by test).
+	Decisions *decisions.Recorder
 	// EventLogCap bounds the retained lifecycle-event ring (default
 	// 4096). Subscribers on the EventBus see every event regardless;
 	// the ring only limits after-the-fact Events() inspection.
@@ -292,6 +302,8 @@ type Platform struct {
 	rejected     int     // admission fast-fails
 	shed         int     // brownout shed rejections (subset of rejected)
 	contractions int     // brownout pipeline contractions
+	// rejectReasons counts admission fast-fails by typed cause.
+	rejectReasons [numRejectReasons]int
 
 	// Swap-tier state (all inert when opts.Swap is zero).
 	swapIns       int  // loads served from a parked host-pool copy
@@ -350,7 +362,7 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 			}
 		}
 		p.events.Subscribe(func(e Event) {
-			rec.Mark(e.Kind.String(), e.Subject, e.Time, e.Detail)
+			rec.MarkCat(eventCat(e.Kind), e.Kind.String(), e.Subject, e.Time, e.Detail)
 		})
 	}
 	for i, spec := range specs {
@@ -369,6 +381,9 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 	}
 	for _, node := range cl.Nodes {
 		p.inv = append(p.inv, newInvoker(p, node))
+	}
+	if p.decOn() {
+		p.wirePlanObservers()
 	}
 	return p
 }
@@ -453,10 +468,18 @@ func (p *Platform) Run(tr *trace.Trace, drain float64) {
 		for _, rq := range fn.pending {
 			rq.rec.Dropped = true
 			rq.rec.Completion = p.eng.Now()
+			if p.decOn() {
+				p.decide(decisions.Record{
+					Kind: decisions.KindDrop, Func: fn.spec.Name,
+					Req: rq.id, Attempt: rq.attempts,
+					Rule: "run-end", Outcome: "still pending when the run ended",
+				})
+			}
 			p.record(rq.rec)
 		}
 		fn.pending = nil
 	}
+	p.exportRunCounters()
 	p.opts.Obs.SetDuration(end)
 }
 

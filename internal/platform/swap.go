@@ -5,6 +5,7 @@ import (
 
 	"fluidfaas/internal/cluster"
 	"fluidfaas/internal/keepalive"
+	"fluidfaas/internal/obs/decisions"
 )
 
 // This file is the model-swapping memory tier (ROADMAP §3, after
@@ -162,6 +163,18 @@ func (p *Platform) dropHostCopy(node *cluster.Node, key string, gb float64) {
 	}
 	p.swapOuts++
 	p.logEvent(EvSwapOut, key, fmt.Sprintf("pool eviction on node%d (%.1f GB)", node.ID, gb))
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindSwapEvict, Func: key, Req: decisions.NoRequest,
+			Subject: fmt.Sprintf("node%d", node.ID),
+			Rule:    "LRU host-pool eviction under memory pressure",
+			Outcome: "host copy dropped; next load is a cold start",
+			Inputs: []decisions.KV{
+				kvF("gb", gb),
+				kvF("occupancy", node.Pool().Occupancy()),
+			},
+		})
+	}
 }
 
 // parkIfUnused parks fn's host copy on node when nothing there still
@@ -231,6 +244,19 @@ func (p *Platform) trySwapRelief() bool {
 	drain := keepalive.SwapOutTime(victim.fn.memGB)
 	p.logEvent(EvSwapOut, victim.id,
 		fmt.Sprintf("brownout swap relief: draining to host pool (%.2fs)", drain))
+	if p.decOn() {
+		p.decide(decisions.Record{
+			Kind: decisions.KindSwapRelief, Func: victim.fn.spec.Name,
+			Req: decisions.NoRequest, Subject: victim.id,
+			Rule:    "most-idle cold instance swapped out instead of shedding",
+			Outcome: "draining to host pool, then demote",
+			Inputs: []decisions.KV{
+				kvF("drain", drain),
+				kvF("idle", victim.tracker.IdleFor(now)),
+				kvF("occupancy", p.poolOccupancy()),
+			},
+		})
+	}
 	p.eng.After(drain, func() {
 		p.reliefPending = false
 		if victim.failed {

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a point in virtual time, in seconds.
@@ -65,10 +66,50 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	nRun   uint64 // events executed
+	now     Time
+	seq     uint64
+	events  eventHeap
+	nRun    uint64 // events executed
+	cancels uint64 // events cancelled before firing
+	peak    int    // deepest the heap ever got
+	wall    time.Duration
+}
+
+// Stats is the engine's self-telemetry: how much work the kernel did and
+// how fast it did it in wall-clock terms. Virtual-time behaviour is
+// unaffected by collecting it; only WallSeconds and EventsPerSec vary
+// between otherwise identical runs (they measure the host, not the
+// model).
+type Stats struct {
+	// Executed counts events that fired.
+	Executed uint64 `json:"events"`
+	// Scheduled counts events ever scheduled (fired, pending or
+	// cancelled).
+	Scheduled uint64 `json:"scheduled"`
+	// Cancellations counts events cancelled before firing.
+	Cancellations uint64 `json:"cancellations"`
+	// PeakHeapDepth is the largest number of events simultaneously
+	// queued.
+	PeakHeapDepth int `json:"peak_heap_depth"`
+	// WallSeconds is real time spent inside Run/RunUntil.
+	WallSeconds float64 `json:"wall_seconds"`
+	// EventsPerSec is Executed/WallSeconds (0 before any timed run).
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Stats returns the engine's self-telemetry so far.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Executed:      e.nRun,
+		Scheduled:     e.seq,
+		Cancellations: e.cancels,
+		PeakHeapDepth: e.peak,
+		WallSeconds:   e.wall.Seconds(),
+	}
+	if s.WallSeconds > 0 {
+		s.EventsPerSec = float64(s.Executed) / s.WallSeconds
+	}
+	return s
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -100,6 +141,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	e.seq++
 	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.peak {
+		e.peak = len(e.events)
+	}
 	return ev
 }
 
@@ -118,6 +162,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancelled = true
+	e.cancels++
 	if ev.index >= 0 {
 		heap.Remove(&e.events, ev.index)
 	}
@@ -143,6 +188,7 @@ func (e *Engine) Step() bool {
 // schedule drains. After the call Now() == t unless the schedule drained
 // earlier, in which case the clock stays at the last event time.
 func (e *Engine) RunUntil(t Time) {
+	start := time.Now()
 	for {
 		next := e.peek()
 		if next == nil || next.time > t {
@@ -153,12 +199,15 @@ func (e *Engine) RunUntil(t Time) {
 	if e.now < t && t != Forever {
 		e.now = t
 	}
+	e.wall += time.Since(start)
 }
 
 // Run executes events until the schedule drains.
 func (e *Engine) Run() {
+	start := time.Now()
 	for e.Step() {
 	}
+	e.wall += time.Since(start)
 }
 
 func (e *Engine) peek() *Event {

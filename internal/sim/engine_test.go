@@ -230,3 +230,41 @@ func TestRNGExpMean(t *testing.T) {
 		t.Errorf("Exp(2.5) sample mean = %v", got)
 	}
 }
+
+// TestEngineStats: the engine's self-telemetry counts executed and
+// scheduled events, cancellations, and the deepest heap seen, and
+// reports a positive wall-clock processing rate after a run.
+func TestEngineStats(t *testing.T) {
+	e := NewEngine()
+	for i := 1; i <= 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	ev := e.At(10, func() { t.Error("cancelled event ran") })
+	e.Cancel(ev)
+	e.Run()
+	s := e.Stats()
+	if s.Executed != 5 {
+		t.Errorf("Executed = %d, want 5", s.Executed)
+	}
+	if s.Scheduled != 6 {
+		t.Errorf("Scheduled = %d, want 6", s.Scheduled)
+	}
+	if s.Cancellations != 1 {
+		t.Errorf("Cancellations = %d, want 1", s.Cancellations)
+	}
+	if s.PeakHeapDepth != 6 {
+		t.Errorf("PeakHeapDepth = %d, want 6", s.PeakHeapDepth)
+	}
+	if s.WallSeconds <= 0 || s.EventsPerSec <= 0 {
+		t.Errorf("wall %v rate %v, want both positive", s.WallSeconds, s.EventsPerSec)
+	}
+}
+
+// TestEngineStatsZero: a fresh engine reports zeros without dividing by
+// a zero wall clock.
+func TestEngineStatsZero(t *testing.T) {
+	s := NewEngine().Stats()
+	if s != (Stats{}) {
+		t.Errorf("fresh engine stats = %+v, want zero", s)
+	}
+}
