@@ -185,13 +185,14 @@ func main() {
 			os.Exit(1)
 		}
 		ar := experiments.RunAnalytics(cfg)
+		uc := experiments.RunUtilComparison(cfg)
 		path := filepath.Join(*jsonOut, fmt.Sprintf("BENCH_%s.json", *exp))
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes, swapRes, grayRes); err != nil {
+		if err := experiments.WriteBenchJSON(f, *exp, e2e, ar.Report, plannerRes, swapRes, grayRes, &uc); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"fluidfaas/internal/obs"
 	"fluidfaas/internal/obs/analytics"
 	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
 )
@@ -32,6 +33,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-exposition metrics to this file")
 	serve := flag.String("serve", "", "after the run, serve live introspection on this address (e.g. 127.0.0.1:8080): /metrics, /analytics, /state, /decisions, /why, /debug/pprof; blocks until killed")
 	decisionsOut := flag.String("decisions-out", "", "record decision provenance and write the full export (records, counts, anomaly dumps) to this JSON file")
+	utilOut := flag.String("util-out", "", "record the GPU utilization ledger and write its report (per-slice state timelines, waste roll-ups, fragmentation analytics) to this JSON file")
 	engineStats := flag.Bool("engine-stats", false, "print the sim engine's self-telemetry (events, rate, heap depth) after the run")
 	flag.Parse()
 
@@ -89,6 +91,11 @@ func main() {
 	// to an uninstrumented one.
 	if *decisionsOut != "" || *serve != "" {
 		cfg.Decisions = decisions.NewRecorder(0)
+	}
+	// Utilization ledger: attached when its export or the server is
+	// requested; the nil default keeps the run bit-identical.
+	if *utilOut != "" || *serve != "" {
+		cfg.Util = util.NewLedger()
 	}
 	var snap platform.Snapshot
 	if *serve != "" {
@@ -180,6 +187,18 @@ func main() {
 		}
 	}
 
+	var utilRep *util.Report
+	if cfg.Util != nil {
+		if err := cfg.Util.Check(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		utilRep = cfg.Util.Report()
+		if *utilOut != "" {
+			writeExport(*utilOut, func(f *os.File) error { return utilRep.WriteJSON(f) })
+		}
+	}
+
 	// An SLO burn-rate page is an anomaly: freeze the decision ring so
 	// the export carries a full dump of what the scheduler was deciding
 	// when the budget burned. Deterministic — the page count and freeze
@@ -213,6 +232,7 @@ func main() {
 			Report:    report,
 			State:     snap,
 			Decisions: cfg.Decisions,
+			Util:      utilRep,
 		})
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {

@@ -79,7 +79,7 @@ func TestWriteBenchJSONDeterministic(t *testing.T) {
 
 	var docs [2]bytes.Buffer
 	for i := 0; i < 2; i++ {
-		if err := WriteBenchJSON(&docs[i], "test", e2e, ar.Report, nil, nil, nil); err != nil {
+		if err := WriteBenchJSON(&docs[i], "test", e2e, ar.Report, nil, nil, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -36,6 +36,10 @@ type BenchDoc struct {
 	// across mitigation levels, off-switch identity), present when
 	// -exp gray ran.
 	Gray *GrayResult `json:"gray,omitempty"`
+	// Util is the GPU utilization ledger comparison (FluidFaaS vs ESG
+	// waste attribution on the medium workload): where every GPU-second
+	// went, including the stranded slice-seconds of coarse allocation.
+	Util *UtilComparison `json:"util,omitempty"`
 	// Engine aggregates the sim engines' self-telemetry across every run
 	// in the document: events executed, wall-clock processing rate, the
 	// deepest event heap seen, and cancellations. The wall-clock fields
@@ -63,6 +67,9 @@ type BenchRun struct {
 	Launched   int     `json:"launched"`
 	Evictions  int     `json:"evictions"`
 	Migrations int     `json:"migrations"`
+	// Fragmentation is the run-mean fragmentation index (stranded GPC
+	// fraction of the free pool).
+	Fragmentation float64 `json:"fragmentation"`
 }
 
 // benchRun flattens one result.
@@ -76,12 +83,13 @@ func benchRun(r SystemResult) BenchRun {
 		MeanUtil: r.UtilGPCs.Mean(), PeakUtil: r.UtilGPCs.Max(),
 		Fairness: r.Fairness,
 		Launched: r.Launched, Evictions: r.Evictions, Migrations: r.Migrations,
+		Fragmentation: r.Fragmentation.Mean(),
 	}
 }
 
 // WriteBenchJSON writes the bench document for an end-to-end matrix and
 // optional analytics / planner-study reports.
-func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult, sw *SwapResult, gr *GrayResult) error {
+func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report, pl *PlannerResult, sw *SwapResult, gr *GrayResult, ut *UtilComparison) error {
 	doc := BenchDoc{
 		Experiment: exp,
 		Seed:       e2e.Cfg.Seed,
@@ -90,6 +98,7 @@ func WriteBenchJSON(w io.Writer, exp string, e2e *EndToEnd, rp *analytics.Report
 		Planner:    pl,
 		Swap:       sw,
 		Gray:       gr,
+		Util:       ut,
 	}
 	var agg sim.Stats
 	for _, wl := range Workloads {

@@ -15,6 +15,7 @@ import (
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
 	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/platform"
 	"fluidfaas/internal/scheduler"
@@ -134,6 +135,11 @@ type Config struct {
 	// it saw and the outcome it chose, queryable per request after the
 	// run ("why did request N end up there?").
 	Decisions *decisions.Recorder
+	// Util attaches a GPU utilization ledger (nil = off, the zero-cost
+	// default): a pure observer that attributes every slice-second to a
+	// busy/idle/waste state, with fragmentation analytics and roll-ups
+	// (the /util and /heatmap endpoints).
+	Util *util.Ledger
 	// OnEvent subscribes to the platform's lifecycle event bus before
 	// the run starts, seeing every event losslessly (the retained ring
 	// in SystemResult.Events is bounded). Subscribers must only observe.
@@ -324,7 +330,8 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 	p := platform.New(cl, specs, platform.Options{
 		Policy: pol, Seed: cfg.Seed, MaxBatch: cfg.MaxBatch, Routing: cfg.Routing,
 		Faults: cfg.Faults, Overload: cfg.Overload, Swap: cfg.Swap, Gray: cfg.Gray,
-		Obs: cfg.Obs, Decisions: cfg.Decisions, EventLogCap: cfg.EventLogCap,
+		Obs: cfg.Obs, Decisions: cfg.Decisions, Util: cfg.Util,
+		EventLogCap: cfg.EventLogCap,
 		DisablePlanCache: cfg.DisablePlanCache,
 	})
 	if cfg.OnEvent != nil {

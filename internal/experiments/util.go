@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fluidfaas/internal/obs/util"
+	"fluidfaas/internal/scheduler"
+)
+
+// The utilization-ledger study: run the medium workload under FluidFaaS
+// and under the ESG baseline with the GPU utilization ledger attached,
+// and report where every slice-second went. The contrast is the paper's
+// §4 waste argument made exact: ESG's coarse monolithic allocation
+// leaves the 1g slices stranded (no deployable unit fits them), while
+// FluidFaaS's pipelined stages can occupy them.
+
+// UtilComparison pairs the two systems' resolved ledger reports.
+type UtilComparison struct {
+	FluidFaaS *util.Report `json:"fluidfaas"`
+	ESG       *util.Report `json:"esg"`
+}
+
+// RunUtilComparison runs the medium workload under FluidFaaS and ESG
+// with fresh ledgers and returns both reports. Each ledger's
+// conservation invariant is verified before the report is returned.
+func RunUtilComparison(cfg Config) UtilComparison {
+	run := func(pol scheduler.Policy) *util.Report {
+		c := cfg
+		c.Util = util.NewLedger()
+		RunSystem(pol, Medium, c)
+		if err := c.Util.Check(); err != nil {
+			panic(err)
+		}
+		return c.Util.Report()
+	}
+	return UtilComparison{
+		FluidFaaS: run(&scheduler.FluidFaaS{}),
+		ESG:       run(&scheduler.ESG{}),
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"fluidfaas/internal/obs"
 	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
 )
 
 // Live introspection: an opt-in HTTP handler that exposes a finished
@@ -38,6 +39,8 @@ type ServerOptions struct {
 	State any
 	// Decisions backs /decisions and /why; nil serves empty documents.
 	Decisions *decisions.Recorder
+	// Util backs /util and /heatmap; nil serves empty documents.
+	Util *util.Report
 }
 
 // Handler returns the introspection mux.
@@ -142,6 +145,24 @@ func Handler(o ServerOptions) http.Handler {
 		_ = enc.Encode(doc)
 	})
 
+	mux.HandleFunc("/util", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rp := o.Util
+		if rp == nil {
+			rp = &util.Report{}
+		}
+		_ = rp.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rp := o.Util
+		if rp == nil {
+			rp = &util.Report{}
+		}
+		_ = rp.WriteHeatmap(w)
+	})
+
 	mux.HandleFunc("/why", func(w http.ResponseWriter, r *http.Request) {
 		s := r.URL.Query().Get("req")
 		if s == "" {
@@ -175,6 +196,8 @@ func Handler(o ServerOptions) http.Handler {
 			"/state        platform snapshot (JSON)\n" +
 			"/decisions    decision provenance, filters: kind, func, req, limit (JSON)\n" +
 			"/why?req=<id> one request's decision chain (JSON)\n" +
+			"/util         GPU utilization ledger report (JSON)\n" +
+			"/heatmap      per-slice utilization heatmap (text)\n" +
 			"/debug/pprof  Go profiler\n"))
 	})
 

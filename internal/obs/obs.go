@@ -177,6 +177,43 @@ func (r *Recorder) StageSpan(name, track, sliceType string, fn, req, stage int, 
 	r.busy[track] += end - start
 }
 
+// CancelSliceWork truncates the track's hardware work spans at `at`:
+// load/exec/transfer slice spans ending later are cut there (removed
+// entirely when they start at or after it), and the track's busy
+// counter gives the cut seconds back. Fault and quarantine teardowns
+// call this because work spans are recorded upfront with their future
+// end times — without the cut, the phantom tail of an execution that
+// died with its hardware stays on the books as busy time, overstating
+// BusySeconds and overlapping whatever the reallocated slice runs
+// next. Safe to call broadly: on the single-threaded engine, any work
+// span still open on a track at teardown time belongs to the owner
+// being torn down. (A truncated exec span keeps its Declared profile
+// time; the drift analytics see cancelled work as a fast outlier,
+// which is accurate — the work did end early.)
+func (r *Recorder) CancelSliceWork(track string, at float64) {
+	if r == nil {
+		return
+	}
+	kept := r.spans[:0]
+	for _, sp := range r.spans {
+		if sp.Kind == KindSlice && sp.Track == track && sp.End > at &&
+			(sp.Cat == "load" || sp.Cat == "exec" || sp.Cat == "transfer") {
+			if sp.Start >= at {
+				if sp.Cat != "transfer" {
+					r.busy[track] -= sp.End - sp.Start
+				}
+				continue
+			}
+			if sp.Cat != "transfer" {
+				r.busy[track] -= sp.End - at
+			}
+			sp.End = at
+		}
+		kept = append(kept, sp)
+	}
+	r.spans = kept
+}
+
 // AsyncSpan records a duration span on a request's causal chain.
 func (r *Recorder) AsyncSpan(cat, name string, fn, req int, start, end float64, detail string) {
 	if r == nil {

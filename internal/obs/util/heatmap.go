@@ -1,0 +1,121 @@
+package util
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Plain-text cluster heatmap: one proportional state bar per slice,
+// grouped by node and GPU, with a GPC-weighted "where did the
+// GPU-seconds go" summary. This is what the analytics server's
+// /heatmap endpoint serves and what the README walkthrough shows.
+
+// heatGlyphs maps each state to its bar character, in States order.
+var heatGlyphs = [numStates]byte{
+	BusyExec:      'E',
+	BusyLoad:      'L',
+	BusyTransfer:  'T',
+	WarmIdle:      'W',
+	ColdIdle:      '.',
+	Stranded:      'S',
+	Quarantined:   'Q',
+	Reconfiguring: 'R',
+}
+
+const heatBarWidth = 40
+
+// stateBar renders a fixed-width bar whose glyph counts are
+// proportional to the state totals (cumulative rounding, so the bar is
+// always exactly heatBarWidth wide and deterministic).
+func stateBar(t Totals, wall float64) string {
+	if wall <= 0 {
+		return strings.Repeat(" ", heatBarWidth)
+	}
+	var b strings.Builder
+	cum, drawn := 0.0, 0
+	for _, s := range States {
+		cum += t.Get(s)
+		upto := int(cum/wall*heatBarWidth + 0.5)
+		if upto > heatBarWidth {
+			upto = heatBarWidth
+		}
+		for ; drawn < upto; drawn++ {
+			b.WriteByte(heatGlyphs[s])
+		}
+	}
+	for ; drawn < heatBarWidth; drawn++ {
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part / whole
+}
+
+// WriteHeatmap renders the report as a plain-text cluster heatmap.
+// Deterministic for identical reports.
+func (r *Report) WriteHeatmap(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GPU utilization heatmap — %.1fs wall, %d slices, %.0f GPC-seconds\n",
+		r.Duration, len(r.Slices), r.GPCSeconds)
+	b.WriteString("legend: E busy-exec  L busy-load  T busy-transfer  W warm-idle  . cold-idle  S stranded  Q quarantined  R reconfiguring\n")
+
+	lastNode, lastGPU := -1, -1
+	for _, sr := range r.Slices {
+		if sr.Node != lastNode {
+			fmt.Fprintf(&b, "\nnode%d\n", sr.Node)
+			lastNode, lastGPU = sr.Node, -1
+		}
+		if sr.GPU != lastGPU {
+			fmt.Fprintf(&b, "  gpu%d\n", sr.GPU)
+			lastGPU = sr.GPU
+		}
+		fmt.Fprintf(&b, "    %-12s |%s| busy %5.1f%%  warm %5.1f%%  stranded %5.1f%%\n",
+			sr.Type+"#"+itoa(sliceIndex(sr.ID)), stateBar(sr.Seconds, sr.Wall),
+			pct(sr.Seconds.Busy(), sr.Wall),
+			pct(sr.Seconds.WarmIdle, sr.Wall),
+			pct(sr.Seconds.Stranded, sr.Wall))
+	}
+
+	b.WriteString("\nwhere did the GPU-seconds go (GPC-weighted):\n")
+	for _, s := range States {
+		v := r.ClusterGPC.Get(s)
+		fmt.Fprintf(&b, "  %-14s %10.1f  %5.1f%%\n", s.String(), v, pct(v, r.GPCSeconds))
+	}
+	if n := len(r.Fragmentation); n > 0 {
+		last := r.Fragmentation[n-1]
+		fmt.Fprintf(&b, "\nfragmentation (last sample, t=%.1f): index %.3f, free %d GPCs, stranded %d GPCs / %.0f GB, largest placeable %d GPCs\n",
+			last.Time, last.Index, last.FreeGPCs, last.StrandedGPCs, last.StrandedGB, last.LargestPlaceableGPCs)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sliceIndex extracts the trailing slice index from an ID of the form
+// "gpuN/type#idx"; -1 when the ID has no index suffix.
+func sliceIndex(id string) int {
+	i := strings.LastIndexByte(id, '#')
+	if i < 0 {
+		return -1
+	}
+	n := 0
+	for _, c := range id[i+1:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%d", n)
+}

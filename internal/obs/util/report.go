@@ -1,0 +1,253 @@
+package util
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Segment is one resolved run of a single state on a slice. Consecutive
+// segments of a slice abut exactly (bitwise-equal boundaries).
+type Segment struct {
+	State State   `json:"state"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Totals is slice-seconds (or GPC-seconds) by state. Field order fixes
+// the JSON byte layout.
+type Totals struct {
+	BusyExec      float64 `json:"busy_exec"`
+	BusyLoad      float64 `json:"busy_load"`
+	BusyTransfer  float64 `json:"busy_transfer"`
+	WarmIdle      float64 `json:"warm_idle"`
+	ColdIdle      float64 `json:"cold_idle"`
+	Stranded      float64 `json:"stranded"`
+	Quarantined   float64 `json:"quarantined"`
+	Reconfiguring float64 `json:"reconfiguring"`
+}
+
+func (t *Totals) ptr(s State) *float64 {
+	switch s {
+	case BusyExec:
+		return &t.BusyExec
+	case BusyLoad:
+		return &t.BusyLoad
+	case BusyTransfer:
+		return &t.BusyTransfer
+	case WarmIdle:
+		return &t.WarmIdle
+	case ColdIdle:
+		return &t.ColdIdle
+	case Stranded:
+		return &t.Stranded
+	case Quarantined:
+		return &t.Quarantined
+	case Reconfiguring:
+		return &t.Reconfiguring
+	}
+	panic("util: invalid state " + s.String())
+}
+
+// Add accumulates sec seconds of state s.
+func (t *Totals) Add(s State, sec float64) { *t.ptr(s) += sec }
+
+// AddScaled accumulates k × o into t (GPC weighting).
+func (t *Totals) AddScaled(o Totals, k float64) {
+	for _, s := range States {
+		*t.ptr(s) += k * o.Get(s)
+	}
+}
+
+// Get returns the seconds accumulated under state s.
+func (t Totals) Get(s State) float64 { return *t.ptr(s) }
+
+// Busy returns the productive seconds (exec + load + transfer).
+func (t Totals) Busy() float64 { return t.BusyExec + t.BusyLoad + t.BusyTransfer }
+
+// Sum returns the seconds across all states.
+func (t Totals) Sum() float64 {
+	sum := 0.0
+	for _, s := range States {
+		sum += t.Get(s)
+	}
+	return sum
+}
+
+// SliceReport is one slice's resolved timeline and totals.
+type SliceReport struct {
+	ID    string  `json:"id"`
+	Node  int     `json:"node"`
+	GPU   int     `json:"gpu"`
+	Type  string  `json:"type"`
+	GPCs  int     `json:"gpcs"`
+	MemGB float64 `json:"mem_gb"`
+	// Wall is the slice's total existence time across its epochs.
+	Wall     float64   `json:"wall"`
+	Seconds  Totals    `json:"seconds"`
+	Segments []Segment `json:"segments"`
+}
+
+// GPUReport rolls a GPU's slices up, in plain and GPC-weighted seconds.
+type GPUReport struct {
+	Node       int    `json:"node"`
+	GPU        int    `json:"gpu"`
+	GPCs       int    `json:"gpcs"`
+	Seconds    Totals `json:"seconds"`
+	GPCSeconds Totals `json:"gpc_seconds"`
+}
+
+// NodeReport rolls a node's GPUs up.
+type NodeReport struct {
+	Node       int    `json:"node"`
+	GPCs       int    `json:"gpcs"`
+	Seconds    Totals `json:"seconds"`
+	GPCSeconds Totals `json:"gpc_seconds"`
+}
+
+// Report is the resolved utilization ledger: per-slice segments with
+// GPU/node/cluster roll-ups and the fragmentation-analytics series.
+// All orders are deterministic (slice registration order).
+type Report struct {
+	// Duration is the run length the ledger was closed at.
+	Duration float64 `json:"duration"`
+	// SliceSeconds and GPCSeconds are the total accounted capacity
+	// (the conservation denominators).
+	SliceSeconds float64 `json:"slice_seconds"`
+	GPCSeconds   float64 `json:"gpc_seconds"`
+	// Cluster is the cluster-wide roll-up in slice-seconds; ClusterGPC
+	// weights each slice by its GPC count (so a wasted 4g slice-second
+	// costs 4× a wasted 1g one, matching the paper's GPU-time metric).
+	Cluster    Totals `json:"cluster"`
+	ClusterGPC Totals `json:"cluster_gpc_seconds"`
+
+	Nodes  []NodeReport  `json:"nodes"`
+	GPUs   []GPUReport   `json:"gpus"`
+	Slices []SliceReport `json:"slices"`
+
+	Fragmentation []FragSample `json:"fragmentation"`
+}
+
+// build resolves every epoch and aggregates the roll-ups.
+func (l *Ledger) build(end float64) *Report {
+	rep := &Report{Duration: end, Fragmentation: l.frag}
+	type gpuKey struct{ node, gpu int }
+	gpuIdx := map[gpuKey]int{}
+	nodeIdx := map[int]int{}
+	for _, id := range l.order {
+		ss := l.slices[id]
+		sr := SliceReport{
+			ID: ss.id, Node: ss.node, GPU: ss.gpu,
+			Type: ss.typ, GPCs: ss.gpcs, MemGB: ss.memGB,
+		}
+		for _, e := range ss.epochs {
+			stop := end
+			if e.died >= 0 && e.died < stop {
+				stop = e.died
+			}
+			if stop > e.born {
+				sr.Wall += stop - e.born
+			}
+			for _, seg := range e.resolve(end) {
+				sr.Segments = append(sr.Segments, seg)
+				sr.Seconds.Add(seg.State, seg.End-seg.Start)
+			}
+		}
+		rep.SliceSeconds += sr.Wall
+		rep.GPCSeconds += float64(sr.GPCs) * sr.Wall
+		rep.Cluster.AddScaled(sr.Seconds, 1)
+		rep.ClusterGPC.AddScaled(sr.Seconds, float64(sr.GPCs))
+
+		gk := gpuKey{ss.node, ss.gpu}
+		gi, ok := gpuIdx[gk]
+		if !ok {
+			gi = len(rep.GPUs)
+			gpuIdx[gk] = gi
+			rep.GPUs = append(rep.GPUs, GPUReport{Node: ss.node, GPU: ss.gpu})
+		}
+		rep.GPUs[gi].GPCs += sr.GPCs
+		rep.GPUs[gi].Seconds.AddScaled(sr.Seconds, 1)
+		rep.GPUs[gi].GPCSeconds.AddScaled(sr.Seconds, float64(sr.GPCs))
+
+		ni, ok := nodeIdx[ss.node]
+		if !ok {
+			ni = len(rep.Nodes)
+			nodeIdx[ss.node] = ni
+			rep.Nodes = append(rep.Nodes, NodeReport{Node: ss.node})
+		}
+		rep.Nodes[ni].GPCs += sr.GPCs
+		rep.Nodes[ni].Seconds.AddScaled(sr.Seconds, 1)
+		rep.Nodes[ni].GPCSeconds.AddScaled(sr.Seconds, float64(sr.GPCs))
+
+		rep.Slices = append(rep.Slices, sr)
+	}
+	return rep
+}
+
+// conservationEps bounds the floating-point slack the conservation
+// check tolerates when summing state seconds (the segment boundaries
+// themselves must match exactly).
+const conservationEps = 1e-6
+
+// Check verifies the conservation invariant on the resolved report:
+// every slice's segments tile its epochs exactly — first boundary at
+// birth, consecutive segments abutting with bitwise-equal floats, last
+// boundary at death (or run end) — and the per-state seconds sum back
+// to the slice's wall time. An error here means the ledger lost or
+// double-counted slice-seconds.
+func (l *Ledger) Check() error {
+	if l == nil {
+		return nil
+	}
+	rep := l.Report()
+	end := l.end
+	for _, sr := range rep.Slices {
+		ss := l.slices[sr.ID]
+		si := 0
+		for _, e := range ss.epochs {
+			stop := end
+			if e.died >= 0 && e.died < stop {
+				stop = e.died
+			}
+			if stop <= e.born {
+				continue
+			}
+			prev := e.born
+			for si < len(sr.Segments) && sr.Segments[si].Start < stop {
+				seg := sr.Segments[si]
+				if seg.Start != prev {
+					return fmt.Errorf("util: %s: segment gap [%v != %v)", sr.ID, prev, seg.Start)
+				}
+				if seg.End <= seg.Start {
+					return fmt.Errorf("util: %s: empty segment at %v", sr.ID, seg.Start)
+				}
+				prev = seg.End
+				si++
+			}
+			if prev != stop {
+				return fmt.Errorf("util: %s: epoch ends at %v, segments at %v", sr.ID, stop, prev)
+			}
+		}
+		if si != len(sr.Segments) {
+			return fmt.Errorf("util: %s: %d segments outside any epoch", sr.ID, len(sr.Segments)-si)
+		}
+		if d := math.Abs(sr.Seconds.Sum() - sr.Wall); d > conservationEps*math.Max(1, sr.Wall) {
+			return fmt.Errorf("util: %s: state seconds %v != wall %v (off by %v)",
+				sr.ID, sr.Seconds.Sum(), sr.Wall, d)
+		}
+	}
+	if d := math.Abs(rep.Cluster.Sum() - rep.SliceSeconds); d > conservationEps*math.Max(1, rep.SliceSeconds) {
+		return fmt.Errorf("util: cluster seconds %v != capacity %v", rep.Cluster.Sum(), rep.SliceSeconds)
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON. Deterministic: struct
+// field order plus registration-ordered slices ⇒ identical reports
+// produce byte-identical output.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -190,4 +190,11 @@ func (p *Platform) exportRunCounters() {
 			float64(p.rejectReasons[why]),
 			[2]string{"reason", why.String()})
 	}
+	r.SetGauge("fluidfaas_fragmentation_index_mean", p.Fragmentation.Mean())
+	for i, t := range p.Fragmentation.Times {
+		r.SetSeries("fluidfaas_fragmentation_index",
+			"Cluster fragmentation index (stranded GPC fraction) sampled over the run.",
+			p.Fragmentation.Values[i],
+			[2]string{"t", strconv.FormatFloat(t, 'g', -1, 64)})
+	}
 }

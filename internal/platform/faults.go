@@ -63,6 +63,7 @@ func (p *Platform) injectFault(ev faults.Event) {
 		p.faultsInjected++
 		p.logEvent(EvFault, sl.ID(), "slice ECC fault")
 		p.failSlice(sl)
+		p.utilTouch(sl)
 	case faults.GPUFault:
 		g := p.cl.Nodes[ev.Node].GPUs[ev.GPU]
 		if !g.Healthy() {
@@ -74,6 +75,7 @@ func (p *Platform) injectFault(ev faults.Event) {
 		for _, sl := range g.Slices {
 			p.failSlice(sl)
 		}
+		p.utilTouch(g.Slices...)
 	case faults.SliceDegraded:
 		// Gray failure: the slice keeps serving, but every execution,
 		// load and transfer on it stretches by the severity factor. No
@@ -107,6 +109,7 @@ func (p *Platform) injectFault(ev faults.Event) {
 			for _, sl := range g.Slices {
 				p.failSlice(sl)
 			}
+			p.utilTouch(g.Slices...)
 		}
 		// The crash loses the host memory holding warm copies, and the
 		// node's image/weight cache: future loads there are cold. Every
@@ -141,6 +144,7 @@ func (p *Platform) recoverFault(ev faults.Event) {
 		sl.SetHealthy(true)
 		p.recoveries++
 		p.logEvent(EvRecover, sl.ID(), "slice repaired")
+		p.utilTouch(sl)
 	case faults.GPUFault:
 		g := p.cl.Nodes[ev.Node].GPUs[ev.GPU]
 		if g.Healthy() {
@@ -149,6 +153,7 @@ func (p *Platform) recoverFault(ev faults.Event) {
 		g.SetHealthy(true)
 		p.recoveries++
 		p.logEvent(EvRecover, fmt.Sprintf("gpu%d", g.ID), "GPU recovered")
+		p.utilTouch(g.Slices...)
 	case faults.NodeCrash:
 		node := p.cl.Nodes[ev.Node]
 		if node.Healthy() {
@@ -157,6 +162,9 @@ func (p *Platform) recoverFault(ev faults.Event) {
 		node.SetHealthy(true)
 		p.recoveries++
 		p.logEvent(EvRecover, fmt.Sprintf("node%d", node.ID), "node recovered")
+		for _, g := range node.GPUs {
+			p.utilTouch(g.Slices...)
+		}
 	case faults.SliceDegraded:
 		sl := p.cl.Nodes[ev.Node].GPUs[ev.GPU].Slices[ev.Slice]
 		if _, ok := p.degraded[sl]; !ok {
@@ -212,10 +220,17 @@ func (p *Platform) failInstance(inst *Instance) {
 	inst.retiring = true
 	now := p.eng.Now()
 	for _, sl := range inst.slices {
+		// The upfront load/exec spans on this slice extend past the
+		// teardown instant; truncate them (and their busy-seconds) in both
+		// the trace and the ledger so recorded busy time matches work the
+		// hardware actually performed.
+		p.opts.Obs.CancelSliceWork(sl.ID(), now)
+		p.utilCancel(sl, now)
 		if !sl.Free() {
 			sl.Release(now)
 		}
 	}
+	p.utilTouch(inst.slices...)
 	inst.fn.removeInstance(inst)
 	p.logEvent(EvRelease, inst.id, "torn down by fault")
 	rqs := inst.inflight
@@ -237,6 +252,10 @@ func (p *Platform) failShared(ss *sharedSlice) {
 	ss.failed = true
 	inv := ss.inv
 	now := p.eng.Now()
+	// Truncate the in-flight load/exec spans recorded upfront on the
+	// slice: the work died with the hardware.
+	p.opts.Obs.CancelSliceWork(ss.slice.ID(), now)
+	p.utilCancel(ss.slice, now)
 	var rqs []*request
 	if ss.serving != nil {
 		rqs = append(rqs, ss.serving.rq)
@@ -291,6 +310,7 @@ func (p *Platform) failShared(ss *sharedSlice) {
 		ss.slice.SetActive(false, now)
 	}
 	ss.slice.Release(now)
+	p.utilTouch(ss.slice)
 	p.logEvent(EvPoolShrink, ss.slice.ID(), "torn down by fault")
 	for _, rq := range rqs {
 		p.retryAfterFault(rq, "shared slice "+ss.slice.ID()+" failed")

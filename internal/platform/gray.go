@@ -260,6 +260,7 @@ func (p *Platform) quarantineSlice(sl *mig.Slice, h *sliceHealth) {
 		})
 	}
 	p.tearDownQuarantined(sl)
+	p.utilTouch(sl)
 	// A quarantine is an anomaly: freeze the provenance ring after the
 	// teardown so the dump carries the retries it caused.
 	if p.decOn() {
@@ -317,6 +318,7 @@ func (p *Platform) liftQuarantine(sl *mig.Slice) {
 		return
 	}
 	sl.SetQuarantined(false)
+	p.utilTouch(sl)
 	h.state = sliceSuspect
 	h.score = p.opts.Gray.SuspectRatio
 	h.samples = 0

@@ -8,6 +8,7 @@ import (
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
 	"fluidfaas/internal/pipeline"
 	"fluidfaas/internal/sim"
 )
@@ -158,6 +159,12 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 				fn.spec.ID, -1, si, now, now+loadTime)
 		}
 	}
+	p.utilTouch(slices...)
+	if p.utilOn() && loadTime > 0 {
+		for _, sl := range slices {
+			p.utilBusy(sl, util.BusyLoad, now, now+loadTime)
+		}
+	}
 	inst.tracker.Touch(now)
 	fn.instances = append(fn.instances, inst)
 	fn.sortInstances()
@@ -264,6 +271,7 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 					sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
 					now, now+exec, sp.ExecTime)
 			}
+			p.utilBusy(sl, util.BusyExec, now, now+exec)
 			return exec
 		},
 		Done: func() {
@@ -289,6 +297,7 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 				rq.rec.Transfer += tr
 				p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
 					rq.rec.Func, rq.rec.ID, si, now, now+tr)
+				p.utilBusy(sl, util.BusyTransfer, now, now+tr)
 				p.eng.After(tr, func() {
 					inst.enqueueStage(p, rq, si+1)
 				})
@@ -349,11 +358,13 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 				sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
 				now-dur, now, sp.ExecTime)
 		}
+		p.utilBusy(sl, util.BusyExec, p.eng.Now()-dur, p.eng.Now())
 		if si+1 < len(inst.bstations) {
 			tr := sp.TransferOut * p.degradeFactor(sl)
 			rq.rec.Transfer += tr
 			p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
 				rq.rec.Func, rq.rec.ID, si, p.eng.Now(), p.eng.Now()+tr)
+			p.utilBusy(sl, util.BusyTransfer, p.eng.Now(), p.eng.Now()+tr)
 			p.eng.After(tr, func() {
 				inst.enqueueStageBatched(p, rq, si+1)
 			})
@@ -389,6 +400,7 @@ func (p *Platform) releaseInstance(inst *Instance) {
 	}
 	inst.fn.removeInstance(inst)
 	inst.fn.lastNodeUse[inst.node.ID] = now
+	p.utilTouch(freed...)
 	if p.swapOn() {
 		p.parkIfUnused(inst.fn, inst.node)
 	}

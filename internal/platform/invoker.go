@@ -8,6 +8,7 @@ import (
 	"fluidfaas/internal/keepalive"
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
 	"fluidfaas/internal/overload"
 )
 
@@ -346,6 +347,7 @@ func (inv *Invoker) growPool(fn *Function) *sharedSlice {
 		return nil
 	}
 	pick.Allocate(inv.sharedOwner(), now)
+	inv.p.utilTouch(pick)
 	ss := newSharedSlice(inv, pick)
 	inv.shared = append(inv.shared, ss)
 	inv.p.logEvent(EvPoolGrow, pick.ID(), "")
@@ -575,6 +577,8 @@ func (ss *sharedSlice) kick(p *Platform) {
 			ss.slice.Type.String(), rq.rec.Func, rq.rec.ID, -1,
 			now+load, now+load+exec, declaredExec)
 	}
+	p.utilBusy(ss.slice, util.BusyLoad, now, now+load)
+	p.utilBusy(ss.slice, util.BusyExec, now+load, now+load+exec)
 	p.eng.After(load+exec, func() {
 		if ss.failed {
 			// The slice died mid-service; the fault handler already
@@ -689,6 +693,7 @@ func (inv *Invoker) releaseShared(ss *sharedSlice) {
 		}
 	}
 	ss.slice.Release(now)
+	inv.p.utilTouch(ss.slice)
 	inv.p.logEvent(EvPoolShrink, ss.slice.ID(), "")
 	if inv.p.opts.Policy.Migration() {
 		inv.p.tryMigration(ss.slice)

@@ -2,7 +2,9 @@ package platform
 
 import (
 	"bytes"
+	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"fluidfaas/internal/cluster"
@@ -152,5 +154,66 @@ func TestObsRetryMarks(t *testing.T) {
 	}
 	if marks != p.Retries() {
 		t.Errorf("retry marks = %d, platform retries = %d", marks, p.Retries())
+	}
+}
+
+// TestBusySecondsSpanReconciliation: the per-track BusySeconds counter
+// and the span data must tell the same story even when hedged losers
+// are cancelled and quarantine tears work down mid-execution. Spans are
+// recorded upfront with future end times; CancelSliceWork truncates
+// both the span and the counter on teardown, so after any run the
+// counter must equal the sum of the surviving load+exec span durations
+// on that track — and those spans must never overlap (one slice runs
+// one thing at a time with MaxBatch=1).
+func TestBusySecondsSpanReconciliation(t *testing.T) {
+	specs := specsFor(t, dnn.Medium)
+	cl := cluster.New(cluster.DefaultSpec())
+	rec := obs.NewRecorder()
+	p := New(cl, specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 9, Obs: rec,
+		Faults: &faults.Spec{
+			SliceRate: 0.1, SliceMTTR: 30,
+			DegradedRate: 0.08, DegradedMTTR: 40,
+			DegradedMinSeverity: 3, DegradedMaxSeverity: 6,
+		},
+		Gray: GrayOptions{Enabled: true, Hedge: true},
+	})
+	tr := flatTrace(specs, 8, 150, 9)
+	p.Run(tr, 40)
+	if p.FaultsInjected() == 0 {
+		t.Fatal("fault schedule injected nothing; the test exercises no cancellation")
+	}
+
+	type iv struct{ start, end float64 }
+	work := map[string][]iv{}
+	for _, sp := range rec.Spans() {
+		if sp.Kind == obs.KindSlice && (sp.Cat == "load" || sp.Cat == "exec") {
+			work[sp.Track] = append(work[sp.Track], iv{sp.Start, sp.End})
+		}
+	}
+	checked := 0
+	for _, trk := range rec.Tracks() {
+		ivs := work[trk.Name]
+		sum := 0.0
+		for _, v := range ivs {
+			sum += v.end - v.start
+		}
+		busy := rec.BusySeconds(trk.Name)
+		if math.Abs(busy-sum) > 1e-9*math.Max(1, sum) {
+			t.Errorf("%s: BusySeconds %v != span sum %v", trk.Name, busy, sum)
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end-1e-9 {
+				t.Errorf("%s: overlapping work spans [%v,%v) and [%v,%v)",
+					trk.Name, ivs[i-1].start, ivs[i-1].end, ivs[i].start, ivs[i].end)
+			}
+		}
+		if sum > 0 {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no track accumulated any work to reconcile")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fluidfaas/internal/mig"
 	"fluidfaas/internal/obs"
 	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
 	"fluidfaas/internal/overload"
 	"fluidfaas/internal/pipeline"
 	"fluidfaas/internal/scheduler"
@@ -125,6 +126,16 @@ type Options struct {
 	// nil short-circuits every recording point, keeping recorder-off runs
 	// bit-for-bit identical (enforced by test).
 	Decisions *decisions.Recorder
+	// Util, when set, feeds the GPU utilization ledger: a time-weighted
+	// per-slice state integrator classifying every slice-second into
+	// busy-exec/load/transfer, warm-idle (bound keepalive), cold-idle
+	// (free, placeable), stranded (free but too small for any registered
+	// stage), quarantined, or reconfiguring, with GPU/node/cluster
+	// roll-ups, an exact conservation invariant, and fragmentation
+	// analytics. Like Obs and Decisions it is a pure observer: nil
+	// short-circuits every hook, keeping ledger-off runs bit-for-bit
+	// identical (enforced by test).
+	Util *util.Ledger
 	// EventLogCap bounds the retained lifecycle-event ring (default
 	// 4096). Subscribers on the EventBus see every event regardless;
 	// the ring only limits after-the-fact Events() inspection.
@@ -326,6 +337,12 @@ type Platform struct {
 	// runEnd bounds retry backoffs: a retry that cannot land before the
 	// run ends is pointless (the request would never be recorded).
 	runEnd float64
+
+	// utilHostable marks slice types at least one registered deployable
+	// unit (monolithic function or pipeline stage) fits — the ledger's
+	// cold-idle vs stranded discriminator. Only filled when Options.Util
+	// is attached (util.go).
+	utilHostable [mig.NumSliceTypes]bool
 }
 
 // New builds a platform over the cluster with the registered functions.
@@ -382,6 +399,7 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 	for _, node := range cl.Nodes {
 		p.inv = append(p.inv, newInvoker(p, node))
 	}
+	p.utilRegister()
 	if p.decOn() {
 		p.wirePlanObservers()
 	}
@@ -479,6 +497,7 @@ func (p *Platform) Run(tr *trace.Trace, drain float64) {
 		}
 		fn.pending = nil
 	}
+	p.utilClose(end)
 	p.exportRunCounters()
 	p.opts.Obs.SetDuration(end)
 }
@@ -576,7 +595,9 @@ func (p *Platform) sampleUtilization() {
 		}
 	}
 	p.UtilGPUs.Add(now, float64(active)/float64(len(gpus)))
-	p.Fragmentation.Add(now, mig.FragmentationIndex(gpus, now))
+	fi := mig.FragmentationIndex(gpus, now)
+	p.Fragmentation.Add(now, fi)
+	p.utilSample(now, fi)
 	p.HostPoolOcc.Add(now, p.poolOccupancy())
 	if p.grayOn() {
 		p.sampleHealth(now)

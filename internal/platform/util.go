@@ -1,0 +1,192 @@
+package platform
+
+import (
+	"strconv"
+
+	"fluidfaas/internal/mig"
+	"fluidfaas/internal/obs/util"
+)
+
+// This file feeds the GPU utilization ledger (internal/obs/util): a pure
+// observer that classifies every slice-second of the run into busy /
+// warm-idle / cold-idle / stranded / quarantined / reconfiguring, so the
+// run can answer "where did the GPU-seconds go" for hardware the way the
+// span trace answers it for requests. Every hook here is gated on
+// Options.Util (nil-receiver-safe on top), and none of them mutates
+// platform state or schedules engine work — a run with the ledger
+// attached is bit-for-bit identical to one without (enforced by
+// TestUtilDisabledIdentity).
+
+// utilOn reports whether the utilization ledger is attached.
+func (p *Platform) utilOn() bool { return p.opts.Util != nil }
+
+// computeUtilHostable fills the per-slice-type placeability table: a
+// type is hostable when at least one registered deployable unit fits it
+// — a function that can run monolithically there, or (under a
+// pipelining policy) any partition stage whose memory and operators fit.
+// A free slice of a non-hostable type is stranded capacity: it can never
+// serve anything under the current fragmentation, which is exactly the
+// waste §4 attributes to coarse MIG allocation.
+func (p *Platform) computeUtilHostable() {
+	for _, fn := range p.funcs {
+		for t := range fn.monoExec {
+			p.utilHostable[t] = true
+		}
+		if !p.opts.Policy.Pipelines() {
+			continue
+		}
+		d := fn.spec.DAG
+		for _, part := range fn.spec.Parts {
+			for _, st := range part.Stages {
+				mem := st.MemGB(d)
+				for _, t := range mig.SliceTypes {
+					if p.utilHostable[t] || mem > float64(t.MemGB()) {
+						continue
+					}
+					// A stage covering the whole DAG is the monolithic
+					// deployment and carries its compute floor.
+					if len(st.Nodes) == d.Len() && t.GPCs() < d.MonoMinGPCs {
+						continue
+					}
+					if _, ok := st.ExecOn(d, t); ok {
+						p.utilHostable[t] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// utilRegister opens the ledger's slice timelines, in topology order
+// (the order every export walks).
+func (p *Platform) utilRegister() {
+	l := p.opts.Util
+	if l == nil {
+		return
+	}
+	p.computeUtilHostable()
+	for _, node := range p.cl.Nodes {
+		for _, g := range node.GPUs {
+			for _, sl := range g.Slices {
+				l.Register(sl.ID(), node.ID, g.ID, sl.Type.String(),
+					sl.Type.GPCs(), float64(sl.Type.MemGB()), 0, p.utilBase(sl, 0))
+			}
+		}
+	}
+}
+
+// utilBase classifies a slice's current base (no-work-running) state.
+// Priority: a mid-reconfiguration GPU hides everything else; unusable
+// hardware (faulted or quarantined at any layer) is out of placement
+// regardless of ownership; an owned slice is warm keepalive; a free one
+// is placeable capacity or stranded fragmentation waste.
+func (p *Platform) utilBase(sl *mig.Slice, now float64) util.State {
+	switch {
+	case !sl.GPU.Available(now):
+		return util.Reconfiguring
+	case sl.Quarantined() || !sl.Healthy() || !sl.GPU.Healthy() || !p.cl.Nodes[sl.GPU.Node].Healthy():
+		return util.Quarantined
+	case !sl.Free():
+		return util.WarmIdle
+	case p.utilHostable[sl.Type]:
+		return util.ColdIdle
+	default:
+		return util.Stranded
+	}
+}
+
+// utilTouch re-derives and records the base state of the given slices at
+// the current instant. Called after every transition that can change a
+// slice's classification (allocate/release, pool grow/shrink, health
+// flips, quarantine/probation); unchanged states are no-ops in the
+// ledger, so touching broadly is safe and cheap.
+func (p *Platform) utilTouch(sls ...*mig.Slice) {
+	l := p.opts.Util
+	if l == nil {
+		return
+	}
+	now := p.eng.Now()
+	for _, sl := range sls {
+		l.SetBase(sl.ID(), now, p.utilBase(sl, now))
+	}
+}
+
+// utilBusy claims a busy interval on a slice, mirroring the span the
+// trace recorder gets (upfront, with the future end time; teardown
+// truncates via utilCancel).
+func (p *Platform) utilBusy(sl *mig.Slice, s util.State, start, end float64) {
+	if l := p.opts.Util; l != nil {
+		l.Busy(sl.ID(), s, start, end)
+	}
+}
+
+// utilCancel truncates a slice's open busy claims at the current instant
+// — the ledger-side twin of obs.Recorder.CancelSliceWork, called from
+// the same fault/quarantine teardown sites.
+func (p *Platform) utilCancel(sl *mig.Slice, now float64) {
+	if l := p.opts.Util; l != nil {
+		l.CancelBusy(sl.ID(), now)
+	}
+}
+
+// utilSample records one fragmentation-analytics sample: the scalar
+// index decomposed into free vs stranded capacity, plus the largest free
+// slice a registered stage could still be placed on (the headroom a
+// repartition policy would watch). fi is the already-computed
+// mig.FragmentationIndex of this sampling instant.
+func (p *Platform) utilSample(now, fi float64) {
+	l := p.opts.Util
+	if l == nil {
+		return
+	}
+	s := util.FragSample{Time: now, Index: fi}
+	for _, g := range p.cl.AllGPUs() {
+		for _, sl := range g.FreeSlices(now) {
+			gp := sl.Type.GPCs()
+			s.FreeGPCs += gp
+			if !p.utilHostable[sl.Type] {
+				s.StrandedGPCs += gp
+				s.StrandedGB += float64(sl.Type.MemGB())
+			} else if gp > s.LargestPlaceableGPCs {
+				s.LargestPlaceableGPCs = gp
+			}
+		}
+	}
+	l.AddFragSample(s)
+}
+
+// utilClose resolves the ledger at the end of the run and exports it:
+// per-slice state Gantt segments on the chrome hardware tracks (cat
+// "state", which never touches the busy counters) and the cluster
+// state-seconds as a labeled Prometheus series.
+func (p *Platform) utilClose(end float64) {
+	l := p.opts.Util
+	if l == nil {
+		return
+	}
+	l.Close(end)
+	r := p.opts.Obs
+	if r == nil {
+		return
+	}
+	rep := l.Report()
+	for _, sr := range rep.Slices {
+		for _, seg := range sr.Segments {
+			r.SliceSpan("state", seg.State.String(), sr.ID, -1, -1, -1,
+				seg.Start, seg.End)
+		}
+	}
+	for _, st := range util.States {
+		r.SetSeries("fluidfaas_util_state_seconds",
+			"Slice-seconds of the run by ledger state (cluster roll-up).",
+			rep.Cluster.Get(st), [2]string{"state", st.String()})
+		r.SetSeries("fluidfaas_util_state_gpc_seconds",
+			"GPC-weighted GPU-seconds of the run by ledger state (cluster roll-up).",
+			rep.ClusterGPC.Get(st), [2]string{"state", st.String()})
+	}
+	for _, nr := range rep.Nodes {
+		r.SetSeries("fluidfaas_util_busy_gpc_seconds",
+			"GPC-weighted productive (exec+load+transfer) seconds per node.",
+			nr.GPCSeconds.Busy(), [2]string{"node", strconv.Itoa(nr.Node)})
+	}
+}

@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/faults"
+	"fluidfaas/internal/obs"
+	"fluidfaas/internal/obs/util"
+	"fluidfaas/internal/overload"
+	"fluidfaas/internal/scheduler"
+)
+
+// runWithUtil runs one simulation with the given options template,
+// attaching led as the utilization ledger (nil = disabled path).
+func runWithUtil(t *testing.T, opts Options, led *util.Ledger, seed int64) *Platform {
+	t.Helper()
+	specs := specsFor(t, dnn.Medium)
+	cl := cluster.New(cluster.DefaultSpec())
+	opts.Seed = seed
+	opts.Util = led
+	p := New(cl, specs, opts)
+	tr := flatTrace(specs, 8, 120, seed)
+	p.Run(tr, 40)
+	return p
+}
+
+// TestUtilDisabledIdentity: attaching the utilization ledger must not
+// change a single request outcome or platform counter — it is a pure
+// observer, like the span recorder and the decision recorder before it.
+func TestUtilDisabledIdentity(t *testing.T) {
+	base := Options{Policy: &scheduler.FluidFaaS{}}
+	plain := runWithUtil(t, base, nil, 311)
+	led := util.NewLedger()
+	tracked := runWithUtil(t, base, led, 311)
+
+	a, b := plain.Collector().Records(), tracked.Collector().Records()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("request records diverge with the ledger attached: %d vs %d records", len(a), len(b))
+	}
+	if plain.Launched() != tracked.Launched() ||
+		plain.Evictions() != tracked.Evictions() ||
+		plain.Migrations() != tracked.Migrations() ||
+		plain.TotalEvents() != tracked.TotalEvents() {
+		t.Fatal("platform counters diverge with the ledger attached")
+	}
+	if !reflect.DeepEqual(plain.UtilGPCs, tracked.UtilGPCs) {
+		t.Fatal("utilisation timeline diverges with the ledger attached")
+	}
+	if !led.Closed() || len(led.Report().Slices) == 0 {
+		t.Fatal("ledger recorded nothing")
+	}
+}
+
+// TestUtilConservation: the conservation invariant — every slice's state
+// seconds tile its wall time exactly — must hold with every subsystem
+// that can interrupt or reshape work enabled at once: fail-stop and gray
+// faults, quarantine with hedged retries, the swap tier, and overload
+// control. This is the acceptance criterion of the ledger.
+func TestUtilConservation(t *testing.T) {
+	led := util.NewLedger()
+	specs := specsFor(t, dnn.Medium)
+	cl := cluster.New(cluster.DefaultSpec())
+	p := New(cl, specs, Options{
+		Policy: &scheduler.FluidFaaS{}, Seed: 17, Util: led,
+		Obs: obs.NewRecorder(),
+		Faults: &faults.Spec{
+			SliceRate: 0.08, SliceMTTR: 25,
+			DegradedRate: 0.08, DegradedMTTR: 40,
+			DegradedMinSeverity: 3, DegradedMaxSeverity: 6,
+		},
+		Gray:     GrayOptions{Enabled: true, Hedge: true},
+		Swap:     SwapOptions{Enabled: true},
+		Overload: overload.Config{Admission: true, FairQueue: true, Brownout: true},
+	})
+	tr := flatTrace(specs, 12, 150, 17)
+	p.Run(tr, 40)
+
+	if p.FaultsInjected() == 0 {
+		t.Fatal("fault schedule injected nothing; the test exercises no teardown")
+	}
+	if err := led.Check(); err != nil {
+		t.Fatal(err)
+	}
+	rep := led.Report()
+	if rep.Duration != 190 {
+		t.Fatalf("ledger closed at %v, want 190", rep.Duration)
+	}
+	for _, sr := range rep.Slices {
+		if sr.Wall != rep.Duration {
+			t.Fatalf("%s: wall %v != run duration %v (no slice churn in this run)", sr.ID, sr.Wall, rep.Duration)
+		}
+	}
+	if rep.Cluster.BusyExec <= 0 {
+		t.Fatal("no busy-exec seconds attributed")
+	}
+	if rep.Cluster.WarmIdle <= 0 {
+		t.Fatal("no warm-idle seconds attributed")
+	}
+	if math.Abs(rep.Cluster.Sum()-rep.SliceSeconds) > 1e-6*rep.SliceSeconds {
+		t.Fatalf("cluster seconds %v != capacity %v", rep.Cluster.Sum(), rep.SliceSeconds)
+	}
+	if len(rep.Fragmentation) == 0 {
+		t.Fatal("no fragmentation samples recorded")
+	}
+}
+
+// TestUtilStrandedESG: under the monolithic ESG baseline the medium
+// variants (18–30.5 GB) cannot use the 1g.10gb slices, so their free
+// time must be attributed as stranded; under FluidFaaS's pipelined
+// stages the same slices are placeable and no capacity is stranded.
+// This is §4's waste argument measured exactly.
+func TestUtilStrandedESG(t *testing.T) {
+	run := func(pol scheduler.Policy) *util.Report {
+		led := util.NewLedger()
+		runWithUtil(t, Options{Policy: pol}, led, 42)
+		if err := led.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return led.Report()
+	}
+	esg := run(&scheduler.ESG{})
+	ff := run(&scheduler.FluidFaaS{})
+	if esg.Cluster.Stranded <= 0 {
+		t.Fatal("ESG run attributed no stranded seconds; 1g slices should strand under monolithic allocation")
+	}
+	if ff.Cluster.Stranded != 0 {
+		t.Fatalf("FluidFaaS run stranded %v seconds; pipelined stages should make every slice type hostable",
+			ff.Cluster.Stranded)
+	}
+	for _, s := range esg.Fragmentation {
+		if s.StrandedGPCs > 0 {
+			return
+		}
+	}
+	t.Fatal("ESG fragmentation samples never decomposed stranded GPCs")
+}
