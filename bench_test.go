@@ -232,10 +232,13 @@ func BenchmarkAblationMigration(b *testing.B) {
 // starts rejecting pipelines and FluidFaaS degenerates toward the
 // baselines.
 func BenchmarkAblationTransfer(b *testing.B) {
-	defer func() { dag.TransferScale = 1.0 }()
 	for _, scale := range []float64{0.5, 1, 4} {
-		dag.TransferScale = scale
-		r := benchOne(b, &scheduler.FluidFaaS{}, experiments.Heavy)
+		cfg := benchCfg()
+		cfg.TransferScale = scale
+		var r experiments.SystemResult
+		for i := 0; i < b.N; i++ {
+			r = experiments.RunSystem(&scheduler.FluidFaaS{}, experiments.Heavy, cfg)
+		}
 		switch scale {
 		case 0.5:
 			b.ReportMetric(r.SLOHit*100, "x0.5_slo_%")

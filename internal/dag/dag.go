@@ -52,6 +52,12 @@ type DAG struct {
 	// though a 3g.40gb has the same memory. Per-stage deployments are
 	// unaffected.
 	MonoMinGPCs int
+
+	// TransferScale multiplies every stage-boundary hop cost of this DAG
+	// (0 means 1, the paper's measured cost model). It exists for the
+	// transfer-sensitivity ablation; being per-DAG run state rather than
+	// a package global keeps concurrent runs independent.
+	TransferScale float64
 }
 
 // New returns an empty DAG.

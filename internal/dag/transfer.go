@@ -18,16 +18,24 @@ const (
 	IntraTransfer = 0.002
 )
 
-// TransferScale multiplies every hop cost; it exists solely for the
-// transfer-sensitivity ablation bench (BenchmarkAblationTransfer) and
-// must stay 1 otherwise.
-var TransferScale = 1.0
-
 // TransferTime returns the host shared-memory hop cost for a tensor of
 // outMB megabytes.
 func TransferTime(outMB float64) float64 {
 	if outMB < 0 {
 		outMB = 0
 	}
-	return (TransferBase + outMB/TransferBandwidthMBps) * TransferScale
+	return TransferBase + outMB/TransferBandwidthMBps
+}
+
+// HopTime is TransferTime scaled by the DAG's per-run TransferScale.
+// All hop-cost computations during planning go through it, so the
+// transfer-sensitivity ablation configures the scale per DAG instead of
+// mutating process-global state (which would race under concurrent
+// simulations and leak between tests).
+func (d *DAG) HopTime(outMB float64) float64 {
+	t := TransferTime(outMB)
+	if d.TransferScale > 0 {
+		t *= d.TransferScale
+	}
+	return t
 }

@@ -155,6 +155,15 @@ type Config struct {
 	// cache is behaviour-invariant, so this only exists for the planner
 	// benchmark and the CI cache-on/off determinism diff.
 	DisablePlanCache bool
+	// Shards selects the simulation kernel (platform.Options.Shards):
+	// <= 1 is the sequential engine, >= 2 the sharded engine with one
+	// coordinator shard plus node shards. Behaviour-invariant — same
+	// seed, same results at any shard count (enforced by test).
+	Shards int
+	// TransferScale multiplies every stage-boundary hop cost (0 = 1,
+	// the paper's cost model); the transfer-sensitivity ablation sweeps
+	// it. Applied per-run to the freshly built DAGs, never globally.
+	TransferScale float64
 }
 
 func (c Config) withDefaults() Config {
@@ -321,6 +330,9 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		if i < len(cfg.Priorities) {
 			specs[i].Priority = cfg.Priorities[i]
 		}
+		if cfg.TransferScale > 0 {
+			specs[i].DAG.TransferScale = cfg.TransferScale
+		}
 	}
 	cl := cluster.New(cluster.Spec{
 		Nodes:      cfg.Nodes,
@@ -333,6 +345,7 @@ func RunSystem(pol scheduler.Policy, w Workload, cfg Config) SystemResult {
 		Obs: cfg.Obs, Decisions: cfg.Decisions, Util: cfg.Util,
 		EventLogCap: cfg.EventLogCap,
 		DisablePlanCache: cfg.DisablePlanCache,
+		Shards:           cfg.Shards,
 	})
 	if cfg.OnEvent != nil {
 		p.EventBus().Subscribe(cfg.OnEvent)

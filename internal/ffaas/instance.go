@@ -209,7 +209,7 @@ func Launch(fn Function, cfg Config, opts LaunchOptions) (*Instance, error) {
 					}
 				}
 			}
-			transfer = dag.TransferTime(out)
+			transfer = d.HopTime(out)
 		}
 		inst.stages = append(inst.stages, &stageProc{
 			idx:      si,

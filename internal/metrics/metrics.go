@@ -63,6 +63,17 @@ func NewCollector() *Collector { return &Collector{} }
 // Record adds one request outcome.
 func (c *Collector) Record(r RequestRecord) { c.records = append(c.records, r) }
 
+// Reserve pre-sizes the store for n further records, so a run that
+// knows its request count up front (trace replay) avoids the append
+// doubling-and-copy traffic.
+func (c *Collector) Reserve(n int) {
+	if need := len(c.records) + n; need > cap(c.records) {
+		grown := make([]RequestRecord, len(c.records), need)
+		copy(grown, c.records)
+		c.records = grown
+	}
+}
+
 // Len returns the number of recorded requests.
 func (c *Collector) Len() int { return len(c.records) }
 

@@ -138,7 +138,7 @@ func BuildPlan(d *dag.DAG, part dag.Partition, types []mig.SliceType) (Plan, err
 		exec += intraCost(d, st, inStage)
 		sp := StagePlan{Stage: st, SliceType: types[i], ExecTime: exec, MemGB: mem}
 		if i < len(part.Stages)-1 {
-			sp.TransferOut = dag.TransferTime(boundaryOutMB(d, st, inStage))
+			sp.TransferOut = d.HopTime(boundaryOutMB(d, st, inStage))
 		}
 		plan.Stages = append(plan.Stages, sp)
 		plan.Latency += sp.ExecTime + sp.TransferOut

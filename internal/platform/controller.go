@@ -192,8 +192,16 @@ func (p *Platform) controlTick() {
 // CV-ranked construction, INFless's greedy).
 func (p *Platform) scaleUp() {
 	now := p.eng.Now()
-	var reqs []scheduler.Req
-	var reqFns []*Function
+	// Scratch buffers: scaleUp runs every control tick and on every
+	// cold-start kick, so rebuilding these from nil dominated the
+	// platform's allocation profile. No policy retains the request
+	// slice past PlaceBatch, so reuse is safe.
+	reqs := p.scratchReqs[:0]
+	reqFns := p.scratchFns[:0]
+	defer func() {
+		p.scratchReqs = reqs[:0]
+		p.scratchFns = reqFns[:0]
+	}()
 	for _, fn := range p.funcs {
 		if len(fn.instances) >= p.opts.MaxInstancesPerFunc {
 			continue

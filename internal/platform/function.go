@@ -107,10 +107,15 @@ func (fn *Function) removeInstance(inst *Instance) {
 // paper routes by deadline minus estimated execution and load, which for
 // a single function's uniform SLO reduces to arrival order).
 func (fn *Function) pushPending(rq *request) {
-	fn.pending = append(fn.pending, rq)
-	sort.SliceStable(fn.pending, func(i, j int) bool {
-		return fn.pending[i].deadline < fn.pending[j].deadline
+	// Upper-bound insert: the new request lands after any equal
+	// deadlines, exactly where a stable sort of an appended element
+	// would place it, without re-sorting the whole queue.
+	i := sort.Search(len(fn.pending), func(i int) bool {
+		return fn.pending[i].deadline > rq.deadline
 	})
+	fn.pending = append(fn.pending, nil)
+	copy(fn.pending[i+1:], fn.pending[i:])
+	fn.pending[i] = rq
 }
 
 // popPending removes and returns the most urgent pending request.

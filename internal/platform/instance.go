@@ -20,6 +20,10 @@ type Instance struct {
 	id   string
 	fn   *Function
 	node *cluster.Node
+	// clk is the node's shard clock (the engine itself on a sequential
+	// kernel): all the instance's timers — load completion, station
+	// service, inter-stage transfer hops — are node-local events.
+	clk  sim.Clock
 	plan pipeline.Plan
 
 	slices   []*mig.Slice
@@ -74,6 +78,7 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 		id:      fmt.Sprintf("%s#%d", fn.spec.Name, p.instSeq),
 		fn:      fn,
 		node:    node,
+		clk:     p.inv[node.ID].clk,
 		plan:    plan,
 		slices:  slices,
 		tracker: keepalive.NewTracker(),
@@ -91,7 +96,7 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 		// until then the reservation is space without data. No-op if the
 		// pool evicted the reservation mid-fetch.
 		name := fn.spec.Name
-		p.eng.After(loadTime, func() {
+		inst.clk.After(loadTime, func() {
 			if !inst.failed {
 				node.Pool().MarkLoaded(name)
 			}
@@ -107,7 +112,7 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 		if p.opts.MaxBatch > 1 {
 			exec := sp.ExecTime
 			slice := sl
-			bs := sim.NewBatchStation(p.eng, inst.id+"/"+sl.ID(),
+			bs := sim.NewBatchStation(inst.clk, inst.id+"/"+sl.ID(),
 				p.opts.MaxBatch, p.opts.BatchWindow,
 				func(n int) sim.Time {
 					// Gray degradation stretches the whole batch (x1.0
@@ -133,7 +138,7 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 			inst.bstations = append(inst.bstations, bs)
 			continue
 		}
-		st := sim.NewStation(p.eng, inst.id+"/"+sl.ID())
+		st := sim.NewStation(inst.clk, inst.id+"/"+sl.ID())
 		st.Pause()
 		inst.stations = append(inst.stations, st)
 	}
@@ -149,7 +154,7 @@ func (p *Platform) launchInstance(fn *Function, node *cluster.Node, plan pipelin
 		}
 	}
 	if loadTime > 0 {
-		p.eng.After(loadTime, resume)
+		inst.clk.After(loadTime, resume)
 	} else {
 		resume()
 	}
@@ -223,97 +228,119 @@ func (inst *Instance) enqueueStage(p *Platform, rq *request, si int) {
 		inst.enqueueStageBatched(p, rq, si)
 		return
 	}
-	st := inst.stations[si]
-	sl := inst.slices[si]
-	sp := inst.plan.Stages[si]
-	enqueueAt := p.eng.Now()
+	// One allocation per stage visit: the stageJob embeds the sim.Job
+	// and serves as its Runner, instead of a closure pair capturing a
+	// heap cell per variable.
+	sj := &stageJob{p: p, inst: inst, rq: rq, si: si, enqueueAt: p.eng.Now()}
+	sj.job.Runner = sj
+	inst.stations[si].Enqueue(&sj.job)
+}
+
+// stageJob is one request's passage through one exclusive-pipeline
+// stage: the sim.Job it rides plus the state its callbacks need.
+type stageJob struct {
+	job       sim.Job
+	p         *Platform
+	inst      *Instance
+	rq        *request
+	si        int
+	enqueueAt float64
 	// exec is what the stage actually took (profile time stretched by
 	// any gray degradation); it stays 0 when the copy was cancelled
 	// before service, so Done can tell the two apart.
-	var exec float64
-	st.Enqueue(&sim.Job{
-		Service: func() sim.Time {
-			if inst.failed || rq.hedgeCancelled() {
-				return 0
-			}
-			now := p.eng.Now()
-			wait := now - enqueueAt
-			// Attribute the portion of the wait spent in the initial
-			// model load to Load (Fig. 14); the remaining wait becomes
-			// Queue as the residual at completion.
-			load := inst.loadEndsAt - enqueueAt
-			if load < 0 {
-				load = 0
-			}
-			if load > wait {
-				load = wait
-			}
-			rq.rec.Load += load
-			exec = sp.ExecTime * p.degradeFactor(sl)
-			rq.rec.Exec += exec
-			sl.SetActive(true, now)
-			inst.tracker.Begin(now)
-			if r := p.opts.Obs; r != nil {
-				if si == 0 {
-					r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID,
-						rq.waitStart, now, "")
-				}
-				if load > 0 {
-					// The share of the wait spent behind the initial model
-					// load, so the critical-path reconstruction can split
-					// load from queue exactly as the metrics layer does.
-					r.AsyncSpan("load", "load-wait", rq.rec.Func, rq.rec.ID,
-						enqueueAt, enqueueAt+load, "")
-				}
-				// Declared stays the profile time; a degraded slice's
-				// stretch shows up as span drift.
-				r.StageSpan("exec "+inst.fn.spec.Name, sl.ID(),
-					sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
-					now, now+exec, sp.ExecTime)
-			}
-			p.utilBusy(sl, util.BusyExec, now, now+exec)
-			return exec
-		},
-		Done: func() {
-			if inst.failed {
-				return
-			}
-			now := p.eng.Now()
-			if exec > 0 {
-				sl.SetActive(false, now)
-				inst.tracker.End(now)
-			}
-			if rq.hedgeCancelled() {
-				// Losing copy of a hedged request: stop its pipeline here;
-				// complete() swallows it (no record, waste counted).
-				inst.outstanding--
-				inst.forget(rq)
-				p.complete(rq)
-				p.onInstanceSlack(inst)
-				return
-			}
-			if si+1 < len(inst.stations) {
-				tr := sp.TransferOut * p.degradeFactor(sl)
-				rq.rec.Transfer += tr
-				p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
-					rq.rec.Func, rq.rec.ID, si, now, now+tr)
-				p.utilBusy(sl, util.BusyTransfer, now, now+tr)
-				p.eng.After(tr, func() {
-					inst.enqueueStage(p, rq, si+1)
-				})
-				p.observeSliceExec(sl, sp.ExecTime, exec)
-				return
-			}
-			inst.outstanding--
-			inst.forget(rq)
-			p.complete(rq)
-			p.onInstanceSlack(inst)
-			// Health observation last: it may quarantine the slice and
-			// tear this instance down, which must not race the
-			// completion bookkeeping above.
-			p.observeSliceExec(sl, sp.ExecTime, exec)
-		},
-	})
+	exec float64
+}
+
+// Service implements sim.Runner.
+func (sj *stageJob) Service() sim.Time {
+	p, inst, rq, si := sj.p, sj.inst, sj.rq, sj.si
+	if inst.failed || rq.hedgeCancelled() {
+		return 0
+	}
+	sl := inst.slices[si]
+	sp := inst.plan.Stages[si]
+	now := p.eng.Now()
+	wait := now - sj.enqueueAt
+	// Attribute the portion of the wait spent in the initial
+	// model load to Load (Fig. 14); the remaining wait becomes
+	// Queue as the residual at completion.
+	load := inst.loadEndsAt - sj.enqueueAt
+	if load < 0 {
+		load = 0
+	}
+	if load > wait {
+		load = wait
+	}
+	rq.rec.Load += load
+	exec := sp.ExecTime * p.degradeFactor(sl)
+	sj.exec = exec
+	rq.rec.Exec += exec
+	sl.SetActive(true, now)
+	inst.tracker.Begin(now)
+	if r := p.opts.Obs; r != nil {
+		if si == 0 {
+			r.AsyncSpan("queue", "queue", rq.rec.Func, rq.rec.ID,
+				rq.waitStart, now, "")
+		}
+		if load > 0 {
+			// The share of the wait spent behind the initial model
+			// load, so the critical-path reconstruction can split
+			// load from queue exactly as the metrics layer does.
+			r.AsyncSpan("load", "load-wait", rq.rec.Func, rq.rec.ID,
+				sj.enqueueAt, sj.enqueueAt+load, "")
+		}
+		// Declared stays the profile time; a degraded slice's
+		// stretch shows up as span drift.
+		r.StageSpan("exec "+inst.fn.spec.Name, sl.ID(),
+			sp.SliceType.String(), rq.rec.Func, rq.rec.ID, si,
+			now, now+exec, sp.ExecTime)
+	}
+	p.utilBusy(sl, util.BusyExec, now, now+exec)
+	return exec
+}
+
+// Done implements sim.Runner.
+func (sj *stageJob) Done() {
+	p, inst, rq, si, exec := sj.p, sj.inst, sj.rq, sj.si, sj.exec
+	if inst.failed {
+		return
+	}
+	sl := inst.slices[si]
+	sp := inst.plan.Stages[si]
+	now := p.eng.Now()
+	if exec > 0 {
+		sl.SetActive(false, now)
+		inst.tracker.End(now)
+	}
+	if rq.hedgeCancelled() {
+		// Losing copy of a hedged request: stop its pipeline here;
+		// complete() swallows it (no record, waste counted).
+		inst.outstanding--
+		inst.forget(rq)
+		p.complete(rq)
+		p.onInstanceSlack(inst)
+		return
+	}
+	if si+1 < len(inst.stations) {
+		tr := sp.TransferOut * p.degradeFactor(sl)
+		rq.rec.Transfer += tr
+		p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
+			rq.rec.Func, rq.rec.ID, si, now, now+tr)
+		p.utilBusy(sl, util.BusyTransfer, now, now+tr)
+		inst.clk.After(tr, func() {
+			inst.enqueueStage(p, rq, si+1)
+		})
+		p.observeSliceExec(sl, sp.ExecTime, exec)
+		return
+	}
+	inst.outstanding--
+	inst.forget(rq)
+	p.complete(rq)
+	p.onInstanceSlack(inst)
+	// Health observation last: it may quarantine the slice and
+	// tear this instance down, which must not race the
+	// completion bookkeeping above.
+	p.observeSliceExec(sl, sp.ExecTime, exec)
 }
 
 // enqueueStageBatched runs the batched stage path: requests coalesce at
@@ -365,7 +392,7 @@ func (inst *Instance) enqueueStageBatched(p *Platform, rq *request, si int) {
 			p.opts.Obs.SliceSpan("transfer", "transfer", sl.ID(),
 				rq.rec.Func, rq.rec.ID, si, p.eng.Now(), p.eng.Now()+tr)
 			p.utilBusy(sl, util.BusyTransfer, p.eng.Now(), p.eng.Now()+tr)
-			p.eng.After(tr, func() {
+			inst.clk.After(tr, func() {
 				inst.enqueueStageBatched(p, rq, si+1)
 			})
 			p.observeSliceExec(sl, declared, dur)

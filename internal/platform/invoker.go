@@ -10,13 +10,19 @@ import (
 	"fluidfaas/internal/obs/decisions"
 	"fluidfaas/internal/obs/util"
 	"fluidfaas/internal/overload"
+	"fluidfaas/internal/sim"
 )
 
 // Invoker is the per-node runtime: it owns the node's time-sharing slice
 // pool and performs eviction, pool resizing, and pipeline migration.
 type Invoker struct {
-	p      *Platform
-	node   *cluster.Node
+	p    *Platform
+	node *cluster.Node
+	// clk is where this node's events live: the node's shard clock on a
+	// sharded kernel, the engine itself otherwise. All node-local timers
+	// (station service, instance loads, transfer hops, time-sharing
+	// service) schedule here; cluster-global work stays on p.eng.
+	clk    sim.Clock
 	shared []*sharedSlice
 
 	// Cached free-slice snapshot, revalidated against the node's
@@ -31,8 +37,8 @@ type Invoker struct {
 	freePhys  []*mig.Slice
 }
 
-func newInvoker(p *Platform, node *cluster.Node) *Invoker {
-	return &Invoker{p: p, node: node}
+func newInvoker(p *Platform, node *cluster.Node, clk sim.Clock) *Invoker {
+	return &Invoker{p: p, node: node, clk: clk}
 }
 
 // freeView returns the node's free slices (types and physical slices,
@@ -333,7 +339,10 @@ func (inv *Invoker) pickSharedSlice(fn *Function) *sharedSlice {
 // it to the pool.
 func (inv *Invoker) growPool(fn *Function) *sharedSlice {
 	now := inv.p.eng.Now()
-	free := inv.node.FreeSlices(now)
+	// The generation-validated snapshot spares the full node walk: an
+	// overloaded function retries growth every scale-up pass, and an
+	// unchanged free set answers from cache (same FreeSlices order).
+	_, free := inv.freeView(now)
 	var pick *mig.Slice
 	for _, sl := range free {
 		if _, ok := fn.monoExec[sl.Type]; !ok {
@@ -579,7 +588,7 @@ func (ss *sharedSlice) kick(p *Platform) {
 	}
 	p.utilBusy(ss.slice, util.BusyLoad, now, now+load)
 	p.utilBusy(ss.slice, util.BusyExec, now+load, now+load+exec)
-	p.eng.After(load+exec, func() {
+	ss.inv.clk.After(load+exec, func() {
 		if ss.failed {
 			// The slice died mid-service; the fault handler already
 			// retried the job elsewhere.

@@ -51,6 +51,14 @@ type Options struct {
 	Policy scheduler.Policy
 	// Seed feeds the platform's RNG streams.
 	Seed int64
+	// Shards selects the simulation kernel: <= 1 runs on the sequential
+	// sim.Engine; >= 2 runs on a sim.ShardedEngine with shard 0 as the
+	// coordinator (arrivals, routing, control loop, cluster-global
+	// decisions) and node-local work — stations, instance load/transfer
+	// timers, time-sharing service — spread over the remaining shards by
+	// node ID. The kernel choice is behaviour-invariant: same-seed runs
+	// are bit-for-bit identical at any shard count (enforced by test).
+	Shards int
 	// ControlPeriod is the autoscaler cadence (default 1 s).
 	ControlPeriod float64
 	// SamplePeriod is the utilisation sampling cadence (default 1 s).
@@ -270,7 +278,7 @@ func (rq *request) snapshot() {
 
 // Platform wires the controller, load balancer and invokers together.
 type Platform struct {
-	eng      *sim.Engine
+	eng      sim.Kernel
 	cl       *cluster.Cluster
 	opts     Options
 	funcs    []*Function
@@ -294,6 +302,10 @@ type Platform struct {
 	HealthScores map[string]*metrics.Timeline
 
 	events *obs.Bus[Event]
+
+	// Scratch buffers reused across scaleUp passes (controller.go).
+	scratchReqs []scheduler.Req
+	scratchFns  []*Function
 
 	instSeq   int
 	launched  int  // instances launched, for diagnostics
@@ -351,8 +363,20 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 	if opts.Policy == nil {
 		panic("platform: nil policy")
 	}
+	// Kernel selection: a sharded engine with one shard per node (plus
+	// the coordinator shard 0) when Shards >= 2, the sequential engine
+	// otherwise. nodeClock maps the i-th node onto its shard's clock.
+	var eng sim.Kernel
+	nodeClock := func(i int) sim.Clock { return eng }
+	if opts.Shards > 1 {
+		se := sim.NewShardedEngine(opts.Shards)
+		eng = se
+		nodeClock = func(i int) sim.Clock { return se.Shard(1 + i%(opts.Shards-1)) }
+	} else {
+		eng = sim.NewEngine()
+	}
 	p := &Platform{
-		eng:      sim.NewEngine(),
+		eng:      eng,
 		cl:       cl,
 		opts:     opts,
 		fnByName: make(map[string]*Function),
@@ -396,8 +420,8 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 		}
 		p.fnByName[spec.Name] = fn
 	}
-	for _, node := range cl.Nodes {
-		p.inv = append(p.inv, newInvoker(p, node))
+	for i, node := range cl.Nodes {
+		p.inv = append(p.inv, newInvoker(p, node, nodeClock(i)))
 	}
 	p.utilRegister()
 	if p.decOn() {
@@ -406,8 +430,8 @@ func New(cl *cluster.Cluster, specs []FunctionSpec, opts Options) *Platform {
 	return p
 }
 
-// Engine exposes the simulation engine (for tests and custom drivers).
-func (p *Platform) Engine() *sim.Engine { return p.eng }
+// Engine exposes the simulation kernel (for tests and custom drivers).
+func (p *Platform) Engine() sim.Kernel { return p.eng }
 
 // Collector returns the request-outcome collector.
 func (p *Platform) Collector() *metrics.Collector { return p.col }
@@ -454,6 +478,7 @@ func (p *Platform) Cluster() *cluster.Cluster { return p.cl }
 // controller ticks at its period, and the engine runs until the trace
 // ends plus drain seconds (so in-flight requests finish).
 func (p *Platform) Run(tr *trace.Trace, drain float64) {
+	p.col.Reserve(len(tr.Requests))
 	for _, r := range tr.Requests {
 		req := r
 		p.eng.At(req.Arrival, func() { p.arrive(req) })

@@ -1,0 +1,152 @@
+package platform
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"fluidfaas/internal/cluster"
+	"fluidfaas/internal/dnn"
+	"fluidfaas/internal/obs"
+	"fluidfaas/internal/obs/decisions"
+	"fluidfaas/internal/obs/util"
+	"fluidfaas/internal/sim"
+)
+
+// shardedRun holds one full-stack run and its observability sinks, so
+// the identity tests can compare both in-memory state and every export
+// byte stream.
+type shardedRun struct {
+	p    *Platform
+	rec  *obs.Recorder
+	dec  *decisions.Recorder
+	util *util.Ledger
+}
+
+// runRichSharded exercises every subsystem at once — degraded and slice
+// faults, gray scoring with hedging, the swap tier, full overload
+// control, decision provenance, the utilization ledger, and the obs
+// recorder — on the requested kernel (shards <= 1 is the sequential
+// engine).
+func runRichSharded(t *testing.T, shards int) shardedRun {
+	t.Helper()
+	r := shardedRun{
+		rec:  obs.NewRecorder(),
+		dec:  decisions.NewRecorder(0),
+		util: util.NewLedger(),
+	}
+	opts := richOptions(r.dec)
+	opts.Shards = shards
+	opts.Obs = r.rec
+	opts.Util = r.util
+	specs := specsFor(t, dnn.Small)
+	cl := cluster.New(cluster.DefaultSpec())
+	r.p = New(cl, specs, opts)
+	r.p.Run(flatTrace(specs, 6, 180, 7), 60)
+	return r
+}
+
+// exports renders every exporter into bytes: Chrome trace, Prometheus
+// text, the decision-provenance JSON, and the utilization report JSON.
+func (r shardedRun) exports(t *testing.T) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, r.rec); err != nil {
+		t.Fatal(err)
+	}
+	out["trace"] = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := obs.WritePrometheus(&buf, r.rec); err != nil {
+		t.Fatal(err)
+	}
+	out["prom"] = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := r.dec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out["decisions"] = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := r.util.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out["util"] = append([]byte(nil), buf.Bytes()...)
+	return out
+}
+
+// compareRuns asserts two runs are bit-identical: request records, event
+// counts, lifecycle logs, utilisation timelines, counters, and all four
+// export byte streams.
+func compareRuns(t *testing.T, a, b shardedRun, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(a.p.Collector().Records(), b.p.Collector().Records()) {
+		t.Errorf("%s: request records diverged", label)
+	}
+	if a.p.Engine().Executed() != b.p.Engine().Executed() {
+		t.Errorf("%s: event counts diverged: %d vs %d",
+			label, a.p.Engine().Executed(), b.p.Engine().Executed())
+	}
+	if !reflect.DeepEqual(a.p.Events(), b.p.Events()) {
+		t.Errorf("%s: event logs diverged", label)
+	}
+	if !reflect.DeepEqual(a.p.UtilGPCs, b.p.UtilGPCs) {
+		t.Errorf("%s: utilisation timelines diverged", label)
+	}
+	if a.p.Launched() != b.p.Launched() || a.p.Evictions() != b.p.Evictions() ||
+		a.p.Hedges() != b.p.Hedges() || a.p.SwapIns() != b.p.SwapIns() ||
+		a.p.Rejected() != b.p.Rejected() {
+		t.Errorf("%s: platform counters diverged", label)
+	}
+	ea, eb := a.exports(t), b.exports(t)
+	for name, want := range ea {
+		if !bytes.Equal(want, eb[name]) {
+			t.Errorf("%s: %s export diverged (%d vs %d bytes)",
+				label, name, len(want), len(eb[name]))
+		}
+	}
+}
+
+// TestShardedFullStackIdentity: a same-seed run on the sharded kernel
+// must be bit-for-bit identical to the sequential engine with every
+// subsystem enabled at once — the tentpole contract. Checked at 2, 4,
+// and 8 shards against one sequential reference.
+func TestShardedFullStackIdentity(t *testing.T) {
+	seq := runRichSharded(t, 0)
+	for _, shards := range []int{2, 4, 8} {
+		sh := runRichSharded(t, shards)
+		st := sh.p.Engine().Stats()
+		if st.Shards != shards {
+			t.Errorf("engine stats report %d shards, want %d", st.Shards, shards)
+		}
+		compareRuns(t, seq, sh, "sequential vs sharded")
+	}
+}
+
+// TestShardedRunRepeatable: two same-seed sharded runs are identical to
+// each other (no hidden iteration-order or timing dependence inside the
+// sharded kernel itself).
+func TestShardedRunRepeatable(t *testing.T) {
+	a := runRichSharded(t, 4)
+	b := runRichSharded(t, 4)
+	compareRuns(t, a, b, "sharded repeat")
+}
+
+// TestShardedSpreadsWork: the node shards actually execute events — the
+// identity above is not vacuous because everything landed on the
+// coordinator shard.
+func TestShardedSpreadsWork(t *testing.T) {
+	r := runRichSharded(t, 4)
+	se, ok := r.p.Engine().(*sim.ShardedEngine)
+	if !ok {
+		t.Fatalf("engine is %T, want *sim.ShardedEngine", r.p.Engine())
+	}
+	busy := 0
+	for _, st := range se.ShardStats() {
+		if st.Executed > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d shard(s) executed events; work is not spread", busy)
+	}
+}

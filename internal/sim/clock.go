@@ -1,0 +1,43 @@
+package sim
+
+// Clock is the scheduling surface a simulation component needs: read the
+// virtual time and (un)schedule callbacks. Both Engine and the per-shard
+// clocks of ShardedEngine implement it, so stations and other model
+// pieces are agnostic to which kernel drives them.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() Time
+	// At schedules fn at absolute time t; scheduling in the past panics.
+	At(t Time, fn func()) *Event
+	// After schedules fn d seconds from now; negative delays panic.
+	After(d Time, fn func()) *Event
+	// Cancel removes ev from the schedule; a no-op on fired or
+	// already-cancelled events.
+	Cancel(ev *Event)
+}
+
+// Kernel is the full driver surface of a simulation kernel: a Clock plus
+// the run loop and self-telemetry. Engine and ShardedEngine implement it.
+type Kernel interface {
+	Clock
+	// Step executes the single earliest event, reporting false when the
+	// schedule is drained.
+	Step() bool
+	// RunUntil executes events in global (time, seq) order until the
+	// clock would pass t or the schedule drains.
+	RunUntil(t Time)
+	// Run executes events until the schedule drains.
+	Run()
+	// Pending returns the number of scheduled, uncancelled events.
+	Pending() int
+	// Executed returns the number of events executed so far.
+	Executed() uint64
+	// Stats returns the kernel's self-telemetry.
+	Stats() Stats
+}
+
+var (
+	_ Kernel = (*Engine)(nil)
+	_ Kernel = (*ShardedEngine)(nil)
+	_ Clock  = (*ShardClock)(nil)
+)

@@ -25,25 +25,31 @@ type Event struct {
 	time      Time
 	seq       uint64
 	fn        func()
-	index     int // heap index, -1 when not queued
+	index     int // heap index; -1 when not in a heap, laneIndex when in a shard lane
 	cancelled bool
+	fired     bool
+	sh        *shard // owning shard when scheduled on a ShardedEngine, else nil
 }
+
+// laneIndex marks an event queued in a shard's monotone lane rather than
+// its heap (see ShardedEngine).
+const laneIndex = -2
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() Time { return e.time }
 
-// Cancelled reports whether Cancel was called on the event.
+// Cancelled reports whether Cancel removed the event before it fired.
+// Cancelling after the event ran is a no-op, so Cancelled and Fired are
+// mutually exclusive.
 func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
 
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -95,6 +101,9 @@ type Stats struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// EventsPerSec is Executed/WallSeconds (0 before any timed run).
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Shards is the shard count when the kernel is a ShardedEngine;
+	// omitted (0) for the sequential Engine.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Stats returns the engine's self-telemetry so far.
@@ -118,16 +127,9 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncancelled) events. Cancel
+// removes events from the heap eagerly, so this is just the heap size.
+func (e *Engine) Pending() int { return len(e.events) }
 
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.nRun }
@@ -156,32 +158,33 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Cancel removes ev from the schedule. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a true no-op: it neither marks the event
+// cancelled nor counts toward Stats.Cancellations.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled {
+	if ev == nil || ev.cancelled || ev.fired {
 		return
 	}
 	ev.cancelled = true
 	e.cancels++
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
-	}
+	heap.Remove(&e.events, ev.index)
 }
 
 // Step executes the single earliest event. It reports false when no
-// events remain.
+// events remain. Cancelled events are removed eagerly by Cancel, so
+// whatever is at the heap top is live.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.time
-		e.nRun++
-		ev.fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	e.fire(heap.Pop(&e.events).(*Event))
+	return true
+}
+
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.time
+	ev.fired = true
+	e.nRun++
+	ev.fn()
 }
 
 // RunUntil executes events in order until the clock would pass t or the
@@ -189,12 +192,8 @@ func (e *Engine) Step() bool {
 // earlier, in which case the clock stays at the last event time.
 func (e *Engine) RunUntil(t Time) {
 	start := time.Now()
-	for {
-		next := e.peek()
-		if next == nil || next.time > t {
-			break
-		}
-		e.Step()
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.fire(heap.Pop(&e.events).(*Event))
 	}
 	if e.now < t && t != Forever {
 		e.now = t
@@ -208,15 +207,4 @@ func (e *Engine) Run() {
 	for e.Step() {
 	}
 	e.wall += time.Since(start)
-}
-
-func (e *Engine) peek() *Event {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&e.events)
-	}
-	return nil
 }

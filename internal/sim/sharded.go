@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// ShardedEngine is a sharded discrete-event kernel: one event structure
+// (a small binary heap plus a monotone "lane") per shard, merged into a
+// single logical clock. It is built for simulations whose components
+// partition naturally — in this repo, one shard per cluster node plus a
+// coordinator shard for cluster-global work — and whose cross-shard
+// traffic has a nonzero lower bound (the ≥ TransferBase inter-node hop),
+// which keeps the conservative merge horizon wide.
+//
+// Determinism contract: events execute in exact global (time, seq) order
+// with a single engine-wide sequence counter, on one goroutine — the
+// same total order a sequential Engine would produce for the same
+// scheduling calls. A model run on a ShardedEngine is therefore
+// bit-for-bit identical to the same model on an Engine, for any shard
+// count. Sharding buys throughput, not reordering:
+//
+//   - Each shard's heap holds only that shard's events, so sift costs
+//     are O(log n_shard) instead of O(log n_total).
+//   - Events scheduled in non-decreasing (time, seq) order on a shard —
+//     pre-sorted trace arrivals, back-to-back service completions — land
+//     in the shard's append-only lane: O(1) push and pop, no heap
+//     traffic at all.
+//   - The merge loop drains the current shard without rescanning the
+//     others while its head stays below the conservative horizon (the
+//     minimum head of every other shard), so the common case of a long
+//     same-shard event chain pays no per-event merge cost.
+type ShardedEngine struct {
+	now     Time
+	seq     uint64
+	shards  []*shard
+	nRun    uint64
+	cancels uint64
+	wall    time.Duration
+
+	// Merge fast-path state: cur is the shard whose events are being
+	// drained; horizonEv is the earliest head among the *other* shards
+	// (nil when they are all empty). cur may keep executing without a
+	// rescan while its head is before horizonEv. Scheduling onto a
+	// non-current shard tightens the horizon in place, so the cache
+	// never goes stale in the unsafe direction.
+	cur       *shard
+	horizonEv *Event
+	horizonOK bool
+}
+
+// shard is one partition of the schedule: a heap for out-of-order
+// events and a lane for monotone ones.
+type shard struct {
+	id       int
+	heap     eventHeap
+	lane     []*Event
+	laneHead int // first live-or-tombstoned lane slot
+	laneDead int // cancelled events still occupying lane slots
+	executed uint64
+	peak     int
+}
+
+// NewShardedEngine returns a kernel with n shards (min 1) and the clock
+// at zero. Shard 0 is the conventional coordinator: ShardedEngine's own
+// At/After schedule there.
+func NewShardedEngine(n int) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	se := &ShardedEngine{shards: make([]*shard, n)}
+	for i := range se.shards {
+		se.shards[i] = &shard{id: i}
+	}
+	return se
+}
+
+// NumShards returns the shard count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Shard returns the clock bound to shard i; components constructed with
+// it schedule all their events there. i is clamped to the valid range.
+func (se *ShardedEngine) Shard(i int) *ShardClock {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(se.shards) {
+		i = len(se.shards) - 1
+	}
+	return &ShardClock{se: se, s: se.shards[i]}
+}
+
+// ShardClock is a Clock view of one shard of a ShardedEngine. All
+// shards share the engine's logical clock and sequence counter; the
+// clock only decides which shard's event structure a callback lands in.
+type ShardClock struct {
+	se *ShardedEngine
+	s  *shard
+}
+
+// Now returns the engine-wide virtual time.
+func (c *ShardClock) Now() Time { return c.se.now }
+
+// At schedules fn at absolute time t on this clock's shard.
+func (c *ShardClock) At(t Time, fn func()) *Event { return c.se.schedule(c.s, t, fn) }
+
+// After schedules fn d seconds from now on this clock's shard.
+func (c *ShardClock) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return c.se.schedule(c.s, c.se.now+d, fn)
+}
+
+// Cancel removes ev from the schedule.
+func (c *ShardClock) Cancel(ev *Event) { c.se.Cancel(ev) }
+
+// Now returns the current virtual time.
+func (se *ShardedEngine) Now() Time { return se.now }
+
+// At schedules fn at absolute time t on the coordinator shard.
+func (se *ShardedEngine) At(t Time, fn func()) *Event {
+	return se.schedule(se.shards[0], t, fn)
+}
+
+// After schedules fn d seconds from now on the coordinator shard.
+func (se *ShardedEngine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return se.schedule(se.shards[0], se.now+d, fn)
+}
+
+func (se *ShardedEngine) schedule(s *shard, t Time, fn func()) *Event {
+	if t < se.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, se.now))
+	}
+	se.seq++
+	ev := &Event{time: t, seq: se.seq, fn: fn, index: -1, sh: s}
+	s.push(ev)
+	// Keep the merge horizon conservative: a new event on a non-current
+	// shard may become the earliest other-shard head.
+	if se.horizonOK && s != se.cur {
+		if se.horizonEv == nil || ev.before(se.horizonEv) {
+			se.horizonEv = ev
+		}
+	}
+	return ev
+}
+
+// Cancel removes ev from the schedule. As with Engine.Cancel, fired and
+// already-cancelled events are a true no-op. Heap events are removed
+// eagerly; lane events are tombstoned in place (the lane is append-only)
+// and skipped when the drain reaches them. A cancellation can only move
+// a shard's head later, so the cached horizon stays conservative.
+func (se *ShardedEngine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.fired {
+		return
+	}
+	ev.cancelled = true
+	se.cancels++
+	if ev.index == laneIndex {
+		ev.sh.laneDead++
+		return
+	}
+	heap.Remove(&ev.sh.heap, ev.index)
+}
+
+// Pending returns the number of scheduled, uncancelled events across all
+// shards.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, s := range se.shards {
+		n += s.pending()
+	}
+	return n
+}
+
+// Executed returns the number of events executed so far.
+func (se *ShardedEngine) Executed() uint64 { return se.nRun }
+
+// Step executes the single earliest event across all shards. It reports
+// false when every shard is drained.
+func (se *ShardedEngine) Step() bool {
+	ev := se.next(Forever)
+	if ev == nil {
+		return false
+	}
+	se.fire(ev)
+	return true
+}
+
+// RunUntil executes events in global (time, seq) order until the clock
+// would pass t or every shard drains. After the call Now() == t unless
+// the schedule drained earlier.
+func (se *ShardedEngine) RunUntil(t Time) {
+	start := time.Now()
+	for {
+		ev := se.next(t)
+		if ev == nil {
+			break
+		}
+		se.fire(ev)
+	}
+	if se.now < t && t != Forever {
+		se.now = t
+	}
+	se.wall += time.Since(start)
+}
+
+// Run executes events until every shard drains.
+func (se *ShardedEngine) Run() { se.RunUntil(Forever) }
+
+func (se *ShardedEngine) fire(ev *Event) {
+	se.now = ev.time
+	ev.fired = true
+	se.nRun++
+	ev.sh.executed++
+	ev.fn()
+}
+
+// next pops and returns the globally earliest event at or before limit,
+// or nil. The fast path keeps draining the current shard while its head
+// is before the cached horizon; otherwise it rescans every shard and
+// recomputes the horizon.
+func (se *ShardedEngine) next(limit Time) *Event {
+	if se.horizonOK && se.cur != nil {
+		if h := se.cur.head(); h != nil && h.time <= limit &&
+			(se.horizonEv == nil || h.before(se.horizonEv)) {
+			se.cur.pop(h)
+			return h
+		}
+	}
+	var best *Event
+	var bestShard *shard
+	for _, s := range se.shards {
+		if h := s.head(); h != nil && (best == nil || h.before(best)) {
+			best, bestShard = h, s
+		}
+	}
+	if best == nil || best.time > limit {
+		return nil
+	}
+	bestShard.pop(best)
+	se.cur = bestShard
+	var hz *Event
+	for _, s := range se.shards {
+		if s == bestShard {
+			continue
+		}
+		if h := s.head(); h != nil && (hz == nil || h.before(hz)) {
+			hz = h
+		}
+	}
+	se.horizonEv, se.horizonOK = hz, true
+	return best
+}
+
+// Stats returns the engine-wide telemetry roll-up. PeakHeapDepth is the
+// deepest any single shard's queue (heap + live lane) ever got.
+func (se *ShardedEngine) Stats() Stats {
+	s := Stats{
+		Executed:      se.nRun,
+		Scheduled:     se.seq,
+		Cancellations: se.cancels,
+		WallSeconds:   se.wall.Seconds(),
+		Shards:        len(se.shards),
+	}
+	for _, sh := range se.shards {
+		if sh.peak > s.PeakHeapDepth {
+			s.PeakHeapDepth = sh.peak
+		}
+	}
+	if s.WallSeconds > 0 {
+		s.EventsPerSec = float64(s.Executed) / s.WallSeconds
+	}
+	return s
+}
+
+// ShardStats returns per-shard telemetry: events executed from and the
+// peak queue depth of each shard, in shard order. Engine-wide fields
+// (Scheduled, Cancellations, wall clock) are reported by Stats only.
+func (se *ShardedEngine) ShardStats() []Stats {
+	out := make([]Stats, len(se.shards))
+	for i, sh := range se.shards {
+		out[i] = Stats{Executed: sh.executed, PeakHeapDepth: sh.peak}
+	}
+	return out
+}
+
+// before is the global execution order: (time, seq) lexicographic.
+func (a *Event) before(b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *shard) pending() int {
+	return len(s.heap) + (len(s.lane) - s.laneHead) - s.laneDead
+}
+
+// push queues ev on the shard: the lane if it preserves the lane's
+// monotone (time, seq) order, the heap otherwise.
+func (s *shard) push(ev *Event) {
+	if s.laneHead == len(s.lane) {
+		// Lane fully consumed: recycle the backing array.
+		s.lane, s.laneHead, s.laneDead = s.lane[:0], 0, 0
+		s.lane = append(s.lane, ev)
+		ev.index = laneIndex
+	} else if tail := s.lane[len(s.lane)-1]; !ev.before(tail) {
+		s.lane = append(s.lane, ev)
+		ev.index = laneIndex
+	} else {
+		heap.Push(&s.heap, ev)
+	}
+	if d := s.pending(); d > s.peak {
+		s.peak = d
+	}
+}
+
+// head returns the shard's earliest live event without removing it,
+// skipping lane tombstones.
+func (s *shard) head() *Event {
+	for s.laneHead < len(s.lane) && s.lane[s.laneHead].cancelled {
+		s.lane[s.laneHead] = nil
+		s.laneHead++
+		s.laneDead--
+	}
+	var lh *Event
+	if s.laneHead < len(s.lane) {
+		lh = s.lane[s.laneHead]
+	}
+	if len(s.heap) == 0 {
+		return lh
+	}
+	hh := s.heap[0]
+	if lh == nil || hh.before(lh) {
+		return hh
+	}
+	return lh
+}
+
+// pop removes ev, which must be the shard's current head.
+func (s *shard) pop(ev *Event) {
+	if ev.index == laneIndex {
+		s.lane[s.laneHead] = nil
+		s.laneHead++
+		ev.index = -1
+		return
+	}
+	heap.Pop(&s.heap)
+}

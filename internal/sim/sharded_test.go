@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// --- sequential-engine edge cases (the PR-10 bugfix sweep) ---
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.After(1, func() { ran = true })
+	e.Run()
+	if !ran || !ev.Fired() {
+		t.Fatalf("event did not fire")
+	}
+	e.Cancel(ev)
+	if ev.Cancelled() {
+		t.Fatalf("Cancel after fire marked the event cancelled")
+	}
+	if got := e.Stats().Cancellations; got != 0 {
+		t.Fatalf("Cancel after fire counted as a cancellation: %d", got)
+	}
+}
+
+func TestEngineCancelTwice(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(1, func() {})
+	e.After(2, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev)
+	if got := e.Stats().Cancellations; got != 1 {
+		t.Fatalf("double Cancel counted %d cancellations, want 1", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEnginePendingInterleaved(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 6)
+	for i := range evs {
+		evs[i] = e.After(float64(i+1), func() {})
+	}
+	e.Cancel(evs[2]) // cancel a queued event
+	e.Step()         // fire evs[0]
+	e.Cancel(evs[0]) // no-op: already fired
+	e.Cancel(evs[4])
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	e.Run()
+	if got := e.Executed(); got != 4 {
+		t.Fatalf("Executed = %d, want 4", got)
+	}
+	s := e.Stats()
+	if s.Cancellations != 2 {
+		t.Fatalf("Cancellations = %d, want 2", s.Cancellations)
+	}
+}
+
+func TestEngineRunUntilForeverDrained(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(Forever) // empty schedule: clock must stay at 0, not jump to Forever
+	if e.Now() != 0 {
+		t.Fatalf("Now = %v after RunUntil(Forever) on empty schedule", e.Now())
+	}
+	e.After(3, func() {})
+	e.RunUntil(Forever)
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3 (last event time)", e.Now())
+	}
+}
+
+// --- sharded engine ---
+
+// driveWorkload runs a synthetic multi-node workload on any kernel and
+// returns the execution log. clocks[i] is node i's scheduling surface
+// (all the same engine for the sequential case, per-shard clocks for
+// the sharded case). The workload mixes monotone arrival chains,
+// same-node service chains, cross-node hops at ties and near-ties, and
+// cancellations — the shapes the platform generates.
+func driveWorkload(k Kernel, clocks []Clock, seed int64) []string {
+	var log []string
+	nodes := len(clocks)
+	rng := NewRNG(seed, "wl")
+	emit := func(tag string) { log = append(log, fmt.Sprintf("%.9f %s", k.Now(), tag)) }
+
+	var chain func(node, depth int)
+	chain = func(node, depth int) {
+		emit(fmt.Sprintf("n%d d%d", node, depth))
+		if depth >= 6 {
+			return
+		}
+		c := clocks[node]
+		// Same-node continuation, sometimes at zero delay (seq ties).
+		d := rng.Float64() * 0.02
+		if rng.Float64() < 0.2 {
+			d = 0
+		}
+		c.After(d, func() { chain(node, depth+1) })
+		// Occasional cross-node hop with a short horizon-violating delay
+		// and one with a realistic transfer-floor delay.
+		if rng.Float64() < 0.4 {
+			peer := (node + 1 + rng.Intn(nodes-1)) % nodes
+			if nodes == 1 {
+				peer = 0
+			}
+			hop := 0.001
+			if rng.Float64() < 0.5 {
+				hop = 0.010
+			}
+			clocks[peer].After(hop, func() { chain(peer, depth+1) })
+		}
+		// Schedule-then-cancel: half fire, half are cancelled.
+		victim := c.After(0.005, func() { emit(fmt.Sprintf("victim n%d", node)) })
+		if rng.Float64() < 0.5 {
+			c.Cancel(victim)
+		}
+	}
+
+	// Pre-sorted arrival wave onto every node (exercises the lane).
+	for i := 0; i < 40; i++ {
+		at := float64(i) * 0.01
+		node := i % nodes
+		k.At(at, func() { chain(node, 0) })
+	}
+	k.RunUntil(5)
+	return log
+}
+
+// TestShardedDeterminismSweep checks the same-seed identity contract:
+// the execution log on 1/2/4/8 shards is identical to the sequential
+// engine's, event for event.
+func TestShardedDeterminismSweep(t *testing.T) {
+	const nodes = 8
+	seq := NewEngine()
+	seqClocks := make([]Clock, nodes)
+	for i := range seqClocks {
+		seqClocks[i] = seq
+	}
+	want := driveWorkload(seq, seqClocks, 42)
+	if len(want) < 100 {
+		t.Fatalf("workload too small to be meaningful: %d events logged", len(want))
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		se := NewShardedEngine(shards)
+		clocks := make([]Clock, nodes)
+		for i := range clocks {
+			// Mirror the platform mapping: shard 0 is the coordinator,
+			// nodes spread over the rest (or everything on shard 0).
+			if shards == 1 {
+				clocks[i] = se.Shard(0)
+			} else {
+				clocks[i] = se.Shard(1 + i%(shards-1))
+			}
+		}
+		got := driveWorkload(se, clocks, 42)
+		if !reflect.DeepEqual(got, want) {
+			for i := range want {
+				if i >= len(got) || got[i] != want[i] {
+					t.Fatalf("shards=%d diverges at event %d: got %q want %q", shards, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("shards=%d log length %d, want %d", shards, len(got), len(want))
+		}
+		if se.Executed() != seq.Executed() {
+			t.Fatalf("shards=%d Executed = %d, want %d", shards, se.Executed(), seq.Executed())
+		}
+		if st := se.Stats(); st.Scheduled != seq.Stats().Scheduled || st.Cancellations != seq.Stats().Cancellations {
+			t.Fatalf("shards=%d stats mismatch: %+v vs %+v", shards, st, seq.Stats())
+		}
+	}
+}
+
+// TestShardedCrossShardBelowHorizon pins the tricky merge case: while
+// shard A is being drained, one of its callbacks schedules onto shard B
+// below A's next event — the new event must still fire in global order.
+func TestShardedCrossShardBelowHorizon(t *testing.T) {
+	se := NewShardedEngine(3)
+	a, b := se.Shard(1), se.Shard(2)
+	var order []string
+	a.At(1, func() {
+		order = append(order, "a@1")
+		// Cross-shard events below shard A's next head (a@2).
+		b.After(0, func() { order = append(order, "b@1") })   // tie: later seq, fires after a@1
+		b.After(0.5, func() { order = append(order, "b@1.5") })
+	})
+	a.At(2, func() { order = append(order, "a@2") })
+	se.Run()
+	want := []string{"a@1", "b@1", "b@1.5", "a@2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestShardedCancel covers both cancel paths: tombstoning a lane event
+// and eagerly removing a heap event, plus cancel-after-fire.
+func TestShardedCancel(t *testing.T) {
+	se := NewShardedEngine(2)
+	c := se.Shard(1)
+	// Monotone appends land in the lane...
+	laneEv := c.At(1, func() { t.Fatalf("cancelled lane event fired") })
+	c.At(2, func() {})
+	// ...then an earlier event must go to the heap.
+	heapEv := c.At(1.5, func() { t.Fatalf("cancelled heap event fired") })
+	if se.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", se.Pending())
+	}
+	se.Cancel(laneEv)
+	se.Cancel(heapEv)
+	se.Cancel(heapEv) // no-op
+	if se.Pending() != 1 {
+		t.Fatalf("Pending after cancels = %d, want 1", se.Pending())
+	}
+	fired := se.After(0.1, func() {})
+	se.Run()
+	se.Cancel(fired)
+	if fired.Cancelled() {
+		t.Fatalf("Cancel after fire marked event cancelled")
+	}
+	st := se.Stats()
+	if st.Cancellations != 2 || st.Executed != 2 {
+		t.Fatalf("stats = %+v, want 2 cancellations, 2 executed", st)
+	}
+}
+
+func TestShardedPastSchedulingPanics(t *testing.T) {
+	se := NewShardedEngine(2)
+	se.After(1, func() {})
+	se.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("scheduling in the past did not panic")
+		}
+	}()
+	se.Shard(1).At(0.5, func() {})
+}
+
+func TestShardedStatsRollup(t *testing.T) {
+	se := NewShardedEngine(4)
+	for i := 0; i < 4; i++ {
+		c := se.Shard(i)
+		for j := 0; j < 3; j++ {
+			c.At(float64(i*3+j)*0.1, func() {})
+		}
+	}
+	se.Run()
+	st := se.Stats()
+	if st.Shards != 4 || st.Executed != 12 || st.Scheduled != 12 {
+		t.Fatalf("stats roll-up = %+v", st)
+	}
+	per := se.ShardStats()
+	var sum uint64
+	for _, s := range per {
+		sum += s.Executed
+	}
+	if sum != st.Executed {
+		t.Fatalf("per-shard executed sums to %d, want %d", sum, st.Executed)
+	}
+	// Monotone per-shard appends should ride the lane: no shard's queue
+	// should ever have been deeper than its 3 events.
+	if st.PeakHeapDepth != 3 {
+		t.Fatalf("PeakHeapDepth = %d, want 3", st.PeakHeapDepth)
+	}
+}
+
+// TestShardedLaneAbsorbsMonotoneArrivals is a whitebox check that a
+// pre-sorted arrival wave (the platform pre-schedules every trace
+// arrival at Run start) stays out of the heap entirely.
+func TestShardedLaneAbsorbsMonotoneArrivals(t *testing.T) {
+	se := NewShardedEngine(1)
+	for i := 0; i < 1000; i++ {
+		se.At(float64(i)*0.001, func() {})
+	}
+	if n := len(se.shards[0].heap); n != 0 {
+		t.Fatalf("monotone arrivals leaked into the heap: %d", n)
+	}
+	if n := len(se.shards[0].lane); n != 1000 {
+		t.Fatalf("lane holds %d events, want 1000", n)
+	}
+	se.Run()
+	if se.Executed() != 1000 {
+		t.Fatalf("Executed = %d", se.Executed())
+	}
+}

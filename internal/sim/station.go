@@ -1,16 +1,20 @@
 package sim
 
-// Station is a single-server FIFO queueing station driven by an Engine.
+// Station is a single-server FIFO queueing station driven by a Clock.
 // Jobs enter via Enqueue; the station serves one job at a time, holding
 // it for the service time returned by the job's Service callback, then
 // invokes Done. Stations are the building block for both monolithic
 // instances (one station) and pipelines (a chain of stations).
 type Station struct {
-	eng  *Engine
+	eng  Clock
 	name string
 
 	queue []*Job
 	busy  bool
+	// cur is the job in service; finishFn is the pre-bound completion
+	// callback shared by every job (allocated once in NewStation).
+	cur      *Job
+	finishFn func()
 
 	// Paused stations accept jobs but do not start service; used while a
 	// time-sharing instance's model is being (re)loaded onto a slice.
@@ -27,15 +31,51 @@ type Job struct {
 	Service func() Time
 	// Done runs when service completes.
 	Done func()
+	// Runner, when set, supplies both callbacks from one value and takes
+	// precedence over the Service/Done fields. A caller that embeds Job
+	// in its own per-job state and points Runner back at it pays one
+	// allocation per job instead of one per captured closure variable —
+	// this is the platform's hot path for pipeline stages.
+	Runner Runner
 	// EnqueuedAt records when the job entered the current station's queue.
 	EnqueuedAt Time
 	// StartedAt records when service began at the current station.
 	StartedAt Time
 }
 
+// Runner is the allocation-lean form of a job's callbacks (see
+// Job.Runner).
+type Runner interface {
+	// Service returns how long the station works on this job.
+	Service() Time
+	// Done runs when service completes.
+	Done()
+}
+
+func (j *Job) service() Time {
+	if j.Runner != nil {
+		return j.Runner.Service()
+	}
+	return j.Service()
+}
+
+func (j *Job) done() {
+	if j.Runner != nil {
+		j.Runner.Done()
+		return
+	}
+	if j.Done != nil {
+		j.Done()
+	}
+}
+
 // NewStation returns an idle station bound to eng.
-func NewStation(eng *Engine, name string) *Station {
-	return &Station{eng: eng, name: name}
+func NewStation(eng Clock, name string) *Station {
+	s := &Station{eng: eng, name: name}
+	// One completion callback per station, not per job: the station is a
+	// single server, so the job it belongs to is always s.cur.
+	s.finishFn = s.finish
+	return s
 }
 
 // Name returns the station's diagnostic name.
@@ -101,19 +141,22 @@ func (s *Station) maybeStart() {
 	j := s.queue[0]
 	s.queue = s.queue[1:]
 	s.busy = true
+	s.cur = j
 	s.busySince = s.eng.Now()
 	j.StartedAt = s.eng.Now()
-	d := j.Service()
+	d := j.service()
 	if d < 0 {
 		d = 0
 	}
-	s.eng.After(d, func() {
-		s.busy = false
-		s.busyTotal += s.eng.Now() - s.busySince
-		s.served++
-		if j.Done != nil {
-			j.Done()
-		}
-		s.maybeStart()
-	})
+	s.eng.After(d, s.finishFn)
+}
+
+func (s *Station) finish() {
+	j := s.cur
+	s.cur = nil
+	s.busy = false
+	s.busyTotal += s.eng.Now() - s.busySince
+	s.served++
+	j.done()
+	s.maybeStart()
 }
